@@ -1,0 +1,166 @@
+//! ACL with the memory-driven method choice the paper describes.
+//!
+//! §IV-A2: “In many cases where memory is tightly limited, Direct
+//! Convolution is the only option to implement a convolutional layer, due
+//! to GEMM expanding the matrix of input patches, which requires almost one
+//! order of magnitude more memory for a 3×3 filter.” And: “for many small
+//! devices with limited memory space this may be the only method that can
+//! actually execute at all.”
+//!
+//! [`AclAuto`] plans with the GEMM method when its buffers (input + patch
+//! matrix + reshaped weights + output) fit the device's GPU heap, and falls
+//! back to Direct convolution otherwise — the decision an application
+//! integrating ACL actually has to make.
+
+use pruneperf_gpusim::Device;
+use pruneperf_models::ConvLayerSpec;
+
+use crate::{AclDirect, AclGemm, ConvBackend, DispatchPlan};
+
+/// Which ACL method [`AclAuto`] would use for a layer on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AclMethod {
+    /// im2col + GEMM (fits in memory).
+    Gemm,
+    /// Direct convolution (GEMM's patch matrix would not fit).
+    Direct,
+}
+
+/// ACL with automatic GEMM→Direct fallback under memory pressure.
+#[derive(Debug, Clone, Default)]
+pub struct AclAuto {
+    _private: (),
+}
+
+impl AclAuto {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        AclAuto::default()
+    }
+
+    /// Peak GPU-heap demand of the GEMM method for a layer, bytes.
+    pub fn gemm_footprint_bytes(layer: &ConvLayerSpec) -> u64 {
+        let (out_h, out_w) = layer.out_hw();
+        let m = (out_h * out_w) as u64;
+        let k = layer.taps() as u64;
+        let c4 = (layer.c_out().div_ceil(4) * 4) as u64;
+        let input = (layer.h_in() * layer.w_in() * layer.c_in()) as u64;
+        // input + im2col patches + reshaped weights + output, f32 each.
+        (input + m * k + k * c4 + m * c4) * 4
+    }
+
+    /// The method ACL can actually run on this device.
+    pub fn method_for(layer: &ConvLayerSpec, device: &Device) -> AclMethod {
+        if Self::gemm_footprint_bytes(layer) <= device.gpu_heap_bytes() {
+            AclMethod::Gemm
+        } else {
+            AclMethod::Direct
+        }
+    }
+}
+
+impl ConvBackend for AclAuto {
+    fn name(&self) -> &str {
+        "ACL (auto method)"
+    }
+
+    fn plan(&self, layer: &ConvLayerSpec, device: &Device) -> DispatchPlan {
+        match Self::method_for(layer, device) {
+            AclMethod::Gemm => {
+                let mut plan = AclGemm::new().plan(layer, device);
+                plan.add_note(format!(
+                    "GEMM buffers {} MiB fit the {} MiB heap",
+                    Self::gemm_footprint_bytes(layer) / (1024 * 1024),
+                    device.gpu_heap_mib()
+                ));
+                plan
+            }
+            AclMethod::Direct => {
+                let mut plan = AclDirect::new().plan(layer, device);
+                plan.add_note(format!(
+                    "GEMM buffers {} MiB exceed the {} MiB heap; direct convolution is the \
+                     only method that can execute (§IV-A2)",
+                    Self::gemm_footprint_bytes(layer) / (1024 * 1024),
+                    device.gpu_heap_mib()
+                ));
+                plan
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_models::{resnet50, vgg16};
+
+    /// A memory-starved board in the spirit of small IoT-class devices.
+    fn tiny_heap_device() -> Device {
+        Device::builder("Tiny IoT board").gpu_heap_mib(24).build()
+    }
+
+    #[test]
+    fn roomy_devices_use_gemm_everywhere() {
+        let d = Device::mali_g72_hikey970();
+        for layer in resnet50().layers() {
+            assert_eq!(AclAuto::method_for(layer, &d), AclMethod::Gemm, "{layer}");
+        }
+    }
+
+    /// The im2col blow-up (~9x the input for 3x3) forces direct convolution
+    /// on large early layers when the heap is small.
+    #[test]
+    fn tight_heap_forces_direct_on_big_layers() {
+        let d = tiny_heap_device();
+        let vgg = vgg16();
+        let l2 = vgg.layer("VGG.L2").unwrap(); // 3x3 64->64 @224: huge patches
+        assert_eq!(AclAuto::method_for(l2, &d), AclMethod::Direct);
+        // A late small layer still fits.
+        let l24 = vgg.layer("VGG.L24").unwrap(); // 3x3 512->512 @14
+        assert_eq!(AclAuto::method_for(l24, &d), AclMethod::Gemm);
+    }
+
+    #[test]
+    fn plans_note_the_memory_decision() {
+        let d = tiny_heap_device();
+        let vgg = vgg16();
+        let plan = AclAuto::new().plan(vgg.layer("VGG.L2").unwrap(), &d);
+        assert!(plan
+            .chain()
+            .jobs()
+            .iter()
+            .any(|j| j.kernel().name().starts_with("direct_convolution")));
+        assert!(plan.notes().iter().any(|n| n.contains("exceed")), "{plan}");
+    }
+
+    /// The paper's 9x memory blow-up claim, checked on a real 3x3 layer.
+    #[test]
+    fn gemm_footprint_is_an_order_of_magnitude_bigger() {
+        let vgg = vgg16();
+        let l2 = vgg.layer("VGG.L2").unwrap();
+        let input_bytes = (l2.h_in() * l2.w_in() * l2.c_in() * 4) as u64;
+        let blowup = AclAuto::gemm_footprint_bytes(l2) as f64 / input_bytes as f64;
+        assert!(
+            (8.0..13.0).contains(&blowup),
+            "footprint blow-up {blowup:.1}x (paper: ~an order of magnitude)"
+        );
+    }
+
+    /// Falling back costs time: direct is slower, but it *runs* — the
+    /// trade-off the paper describes.
+    #[test]
+    fn fallback_is_slower_but_valid() {
+        let tight = tiny_heap_device();
+        let roomy = Device::mali_g72_hikey970();
+        let vgg = vgg16();
+        let l2 = vgg.layer("VGG.L2").unwrap();
+        let auto = AclAuto::new();
+        let t_tight = auto.latency_ms(l2, &tight);
+        let t_roomy = auto.latency_ms(l2, &roomy);
+        assert!(t_tight.is_finite() && t_tight > 0.0);
+        // Same device parameters except the heap would make this a clean
+        // comparison; across these two devices direct-on-tiny must still be
+        // slower than gemm-on-roomy.
+        assert!(t_tight > t_roomy);
+    }
+}

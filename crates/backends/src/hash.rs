@@ -1,0 +1,65 @@
+//! Small deterministic hashing utilities shared by the backend models.
+//!
+//! Used wherever a library exhibits *stable but shape-dependent* behaviour
+//! (e.g. whether TVM's tuning log happens to contain a configuration). The
+//! values are reproducible across runs and platforms by construction.
+
+/// FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One splitmix64 scramble of a seed.
+pub fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform value in `[0, 1)` derived from a seed.
+pub fn unit_f64(seed: u64) -> f64 {
+    (splitmix(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic uniform value in `[lo, hi)` derived from a seed.
+pub fn range_f64(seed: u64, lo: f64, hi: f64) -> f64 {
+    lo + unit_f64(seed) * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_strings() {
+        assert_ne!(fnv1a(b"ResNet.L16"), fnv1a(b"ResNet.L14"));
+        assert_eq!(fnv1a(b"x"), fnv1a(b"x"));
+    }
+
+    #[test]
+    fn unit_values_are_in_range_and_spread() {
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for i in 0..1000u64 {
+            let v = unit_f64(i);
+            assert!((0.0..1.0).contains(&v));
+            seen_low |= v < 0.2;
+            seen_high |= v > 0.8;
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        for i in 0..100u64 {
+            let v = range_f64(i, 0.04, 0.25);
+            assert!((0.04..0.25).contains(&v));
+        }
+    }
+}

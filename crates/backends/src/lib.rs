@@ -1,0 +1,133 @@
+//! Behavioural models of the deep-learning library planners the paper
+//! characterizes: **Arm Compute Library** (Direct convolution and GEMM
+//! methods), **cuDNN**, and **TVM**'s OpenCL code generator.
+//!
+//! A backend is a *planner*: it lowers a [`ConvLayerSpec`] into the list of
+//! GPU kernels the library would dispatch on a given [`Device`] — NDRanges,
+//! workgroup sizes, instruction mixes, split decisions. Executing that plan
+//! on `pruneperf-gpusim` reproduces the paper's findings, because the
+//! anomalies the paper reports *are* planner decisions:
+//!
+//! * [`AclGemm`] splits its `gemm_mm` into two jobs for “odd” channel
+//!   groups (reverse-engineered from Tables I–IV: 92 → 80+12, 97 → 96+4),
+//!   producing the two parallel staircases of Figs 3, 14 and 15;
+//! * [`AclDirect`] picks workgroup shapes `(4,1,1)` / `(2,1,8)` / `(1,1,8)`
+//!   from channel divisibility (Table V), producing three alternating
+//!   execution levels (Fig 12) and prune-by-1 slowdowns (Fig 10);
+//! * [`Cudnn`] tiles output channels by 32 and schedules whole waves onto
+//!   2 (TX2) or 1 (Nano) SMs, producing the flat monotone staircases of
+//!   Figs 2, 4, 5 and 7;
+//! * [`Tvm`] consults a tuning log and falls back to a slow default
+//!   schedule for sizes it has no entry for (Figs 19, 20).
+//!
+//! # Example
+//!
+//! ```
+//! use pruneperf_backends::{AclGemm, ConvBackend};
+//! use pruneperf_gpusim::Device;
+//! use pruneperf_models::resnet50;
+//!
+//! let device = Device::mali_g72_hikey970();
+//! let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+//! let backend = AclGemm::new();
+//! // 92 output channels: the ACL heuristic splits the GEMM into two jobs.
+//! let plan = backend.plan(&layer.with_c_out(92).unwrap(), &device);
+//! let gemms = plan.kernels_named("gemm_mm").count();
+//! assert_eq!(gemms, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acl_auto;
+mod acl_direct;
+mod acl_gemm;
+mod autotuned;
+mod cudnn;
+mod plan;
+pub mod tuning;
+mod tvm;
+
+pub(crate) mod hash;
+
+pub use acl_auto::{AclAuto, AclMethod};
+pub use acl_direct::AclDirect;
+pub use acl_gemm::AclGemm;
+pub use autotuned::AclDirectTuned;
+pub use cudnn::{Cudnn, CudnnAlgorithm};
+pub use plan::DispatchPlan;
+pub use tvm::Tvm;
+
+use pruneperf_gpusim::{Device, Engine};
+use pruneperf_models::ConvLayerSpec;
+
+/// A deep-learning library's convolution planner.
+///
+/// Implementations are deterministic: the same layer and device always
+/// produce the same plan. This trait is object-safe so heterogeneous
+/// backend collections can be iterated (e.g. the library-shootout example).
+pub trait ConvBackend {
+    /// Library name as the paper uses it (e.g. `"ACL GEMM"`).
+    fn name(&self) -> &str;
+
+    /// Lowers a layer into the kernels the library would dispatch.
+    fn plan(&self, layer: &ConvLayerSpec, device: &Device) -> DispatchPlan;
+
+    /// Convenience: plans and executes the layer, returning latency in ms.
+    fn latency_ms(&self, layer: &ConvLayerSpec, device: &Device) -> f64 {
+        let plan = self.plan(layer, device);
+        Engine::new(device).run_chain(plan.chain()).total_time_ms()
+    }
+
+    /// Convenience: plans and executes the layer, returning energy in mJ.
+    fn energy_mj(&self, layer: &ConvLayerSpec, device: &Device) -> f64 {
+        let plan = self.plan(layer, device);
+        Engine::new(device)
+            .run_chain(plan.chain())
+            .total_energy_mj()
+    }
+}
+
+/// All four backend models, boxed, in the order the paper presents them.
+pub fn all_backends() -> Vec<Box<dyn ConvBackend>> {
+    vec![
+        Box::new(AclDirect::new()),
+        Box::new(AclGemm::new()),
+        Box::new(Cudnn::new()),
+        Box::new(Tvm::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_models::resnet50;
+
+    #[test]
+    fn all_backends_are_plannable() {
+        let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+        for backend in all_backends() {
+            let device = if backend.name().contains("cuDNN") {
+                Device::jetson_tx2()
+            } else {
+                Device::mali_g72_hikey970()
+            };
+            let plan = backend.plan(&layer, &device);
+            assert!(
+                !plan.chain().is_empty(),
+                "{} produced no jobs",
+                backend.name()
+            );
+            let ms = backend.latency_ms(&layer, &device);
+            assert!(ms > 0.0 && ms < 1000.0, "{}: {ms} ms", backend.name());
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_deterministic() {
+        let layer = resnet50().layer("ResNet.L5").unwrap().clone();
+        let device = Device::mali_g72_hikey970();
+        let b: Box<dyn ConvBackend> = Box::new(AclGemm::new());
+        assert_eq!(b.latency_ms(&layer, &device), b.latency_ms(&layer, &device));
+    }
+}

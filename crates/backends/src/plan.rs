@@ -1,0 +1,126 @@
+use std::fmt;
+
+use pruneperf_gpusim::{JobChain, KernelDesc};
+
+/// The outcome of planning one convolutional layer: the job chain a library
+/// would dispatch plus a human-readable record of the decisions taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchPlan {
+    backend: String,
+    algorithm: String,
+    chain: JobChain,
+    notes: Vec<String>,
+}
+
+impl DispatchPlan {
+    /// Creates a plan.
+    pub fn new(backend: impl Into<String>, algorithm: impl Into<String>, chain: JobChain) -> Self {
+        DispatchPlan {
+            backend: backend.into(),
+            algorithm: algorithm.into(),
+            chain,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Records a planner decision (visible in example output and tests).
+    pub fn add_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Backend that produced the plan.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Algorithm chosen (e.g. `"implicit_gemm"`, `"winograd"`).
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// The jobs to dispatch, in order.
+    pub fn chain(&self) -> &JobChain {
+        &self.chain
+    }
+
+    /// Planner decision notes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Kernels with the given name (e.g. counting `gemm_mm` splits).
+    pub fn kernels_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a KernelDesc> {
+        self.chain
+            .jobs()
+            .iter()
+            .map(|j| j.kernel())
+            .filter(move |k| k.name() == name)
+    }
+}
+
+impl fmt::Display for DispatchPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}]: {} job(s)",
+            self.backend,
+            self.algorithm,
+            self.chain.len()
+        )?;
+        for job in self.chain.jobs() {
+            writeln!(
+                f,
+                "  {}{}",
+                job.kernel(),
+                if job.needs_own_submission() {
+                    "  (own submission)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_gpusim::KernelDesc;
+
+    fn plan() -> DispatchPlan {
+        let k = KernelDesc::builder("gemm_mm")
+            .global([8, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(10)
+            .build();
+        let mut p = DispatchPlan::new(
+            "ACL GEMM",
+            "gemm",
+            JobChain::from_kernels(vec![k.clone(), k]),
+        );
+        p.add_note("split: 80 + 12 columns");
+        p
+    }
+
+    #[test]
+    fn accessors() {
+        let p = plan();
+        assert_eq!(p.backend(), "ACL GEMM");
+        assert_eq!(p.algorithm(), "gemm");
+        assert_eq!(p.chain().len(), 2);
+        assert_eq!(p.kernels_named("gemm_mm").count(), 2);
+        assert_eq!(p.kernels_named("im2col").count(), 0);
+        assert_eq!(p.notes().len(), 1);
+    }
+
+    #[test]
+    fn display_lists_jobs_and_notes() {
+        let s = plan().to_string();
+        assert!(s.contains("2 job(s)"));
+        assert!(s.contains("split: 80 + 12 columns"));
+    }
+}

@@ -1,0 +1,226 @@
+//! TVM v0.6 OpenCL code-generator model (§IV-A4).
+//!
+//! TVM compiles each convolution into a single fused kernel whose schedule
+//! comes from the tuning log ([`crate::tuning::TuningLog`]). Logged sizes
+//! get a GEMM-style schedule; unlogged sizes fall back to a direct-style
+//! default — “many sizes are untuned out of the box, showing a large
+//! variation due to uninstructed heuristics” (Fig 20, spikes of ~10×; the
+//! Fig 19 heatmap's 0.0× cells are prune levels that land on untuned
+//! sizes).
+
+use pruneperf_gpusim::{Device, JobChain, KernelDesc};
+use pruneperf_models::ConvLayerSpec;
+
+use crate::tuning::{ScheduleKind, TuningLog};
+use crate::{ConvBackend, DispatchPlan};
+
+/// Instructions per MAC of the tuned (GEMM-style) generated code.
+const TUNED_INSTR_PER_MAC: u64 = 8;
+/// Instructions per MAC of the fallback (direct-style) generated code.
+const FALLBACK_INSTR_PER_MAC: u64 = 14;
+
+/// The TVM backend model.
+///
+/// `Tvm::new()` consults the stock tophub log for whatever device it plans
+/// on; [`Tvm::with_log`] plans against an explicit (e.g. autotuned) log.
+///
+/// ```
+/// use pruneperf_backends::{ConvBackend, Tvm};
+/// use pruneperf_gpusim::Device;
+/// use pruneperf_models::resnet50;
+///
+/// let device = Device::mali_g72_hikey970();
+/// let layer = resnet50().layer("ResNet.L14").unwrap().clone();
+/// let plan = Tvm::new().plan(&layer, &device);
+/// // Stock 512 channels are in the tuning log: a GEMM-style schedule.
+/// assert!(plan.algorithm().contains("tuned"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tvm {
+    log: Option<TuningLog>,
+}
+
+impl Tvm {
+    /// TVM with the stock tuning log for each device.
+    pub fn new() -> Self {
+        Tvm { log: None }
+    }
+
+    /// TVM with an explicit tuning log (see [`TuningLog::autotune`]).
+    pub fn with_log(log: TuningLog) -> Self {
+        Tvm { log: Some(log) }
+    }
+
+    /// The log used when planning on `device`.
+    fn log_for(&self, device: &Device) -> TuningLog {
+        self.log
+            .clone()
+            .unwrap_or_else(|| TuningLog::tophub(device.name()))
+    }
+}
+
+impl ConvBackend for Tvm {
+    fn name(&self) -> &str {
+        "TVM"
+    }
+
+    fn plan(&self, layer: &ConvLayerSpec, device: &Device) -> DispatchPlan {
+        let log = self.log_for(device);
+        let schedule = log.schedule_for(layer);
+        let (out_h, out_w) = layer.out_hw();
+        let m = out_h * out_w;
+        let k_dim = layer.taps();
+        let c4 = layer.c_out().div_ceil(4) * 4;
+
+        let kernel = match schedule.kind {
+            ScheduleKind::Tuned | ScheduleKind::PartiallyTuned => {
+                // GEMM-style fused kernel: one work-item per 4x4 tile.
+                KernelDesc::builder("fused_conv2d_gemm")
+                    .global([m.div_ceil(4), c4 / 4, 1])
+                    .local([4, 4, 1])
+                    .arith_per_item(16 * k_dim as u64 * TUNED_INSTR_PER_MAC)
+                    .mem_per_item(8 * k_dim as u64 + 36)
+                    .cache_hit(0.6)
+                    .coalescing(0.95)
+                    .exec_efficiency(schedule.quality)
+                    .footprint_bytes(((m * k_dim + k_dim * c4 + m * c4) * 4) as u64)
+                    .build()
+            }
+            ScheduleKind::Fallback => {
+                // Direct-style fallback: one work-item per output element.
+                KernelDesc::builder("fused_conv2d_fallback")
+                    .global([out_w, out_h, layer.c_out()])
+                    .local([1, 1, 8])
+                    .arith_per_item(k_dim as u64 * FALLBACK_INSTR_PER_MAC)
+                    .mem_per_item(2 * k_dim as u64)
+                    .cache_hit(0.3)
+                    .coalescing(0.6)
+                    .exec_efficiency(schedule.quality)
+                    .padded_accounting(false)
+                    .footprint_bytes(
+                        ((layer.h_in() * layer.w_in() * layer.c_in()
+                            + k_dim * layer.c_out()
+                            + m * layer.c_out())
+                            * 4) as u64,
+                    )
+                    .build()
+            }
+        };
+
+        let mut plan = DispatchPlan::new(
+            self.name(),
+            match schedule.kind {
+                ScheduleKind::Tuned => "tuned_gemm",
+                ScheduleKind::PartiallyTuned => "partially_tuned_gemm",
+                ScheduleKind::Fallback => "fallback_direct",
+            },
+            JobChain::from_kernels(vec![kernel]),
+        );
+        plan.add_note(format!(
+            "schedule {:?} quality {:.2} for c_out={}",
+            schedule.kind,
+            schedule.quality,
+            layer.c_out()
+        ));
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_models::resnet50;
+
+    fn l14(c: usize) -> ConvLayerSpec {
+        resnet50()
+            .layer("ResNet.L14")
+            .unwrap()
+            .with_c_out(c)
+            .unwrap()
+    }
+
+    fn device() -> Device {
+        Device::mali_g72_hikey970()
+    }
+
+    #[test]
+    fn single_fused_kernel() {
+        let plan = Tvm::new().plan(&l14(512), &device());
+        assert_eq!(plan.chain().len(), 1);
+    }
+
+    /// Fig 20: untuned sizes spike roughly an order of magnitude above the
+    /// tuned envelope.
+    #[test]
+    fn fig20_untuned_spikes() {
+        let d = device();
+        let b = Tvm::new();
+        let log = TuningLog::tophub(d.name());
+        // Find a tuned stock size and an untuned neighbour.
+        let tuned_c = (1..=16)
+            .map(|i| i * 32)
+            .find(|&c| log.schedule_for(&l14(c)).kind == ScheduleKind::Tuned)
+            .expect("some stock size is tuned");
+        let untuned_c = (tuned_c - 16..tuned_c)
+            .find(|&c| log.schedule_for(&l14(c)).kind == ScheduleKind::Fallback)
+            .expect("some neighbour falls back");
+        let t_tuned = b.latency_ms(&l14(tuned_c), &d);
+        let t_untuned = b.latency_ms(&l14(untuned_c), &d);
+        let ratio = t_untuned / t_tuned;
+        assert!(
+            (4.0..45.0).contains(&ratio),
+            "untuned/tuned ratio {ratio:.1} (paper: ~10.5x)"
+        );
+    }
+
+    /// Fig 19: pruning one channel from a stock size usually tanks
+    /// performance (0.0x–0.2x cells), because c−1 is rarely in the log.
+    #[test]
+    fn fig19_prune_by_one_usually_catastrophic() {
+        let d = device();
+        let b = Tvm::new();
+        let log = TuningLog::tophub(d.name());
+        let mut catastrophic = 0;
+        let mut total = 0;
+        for layer in resnet50().layers() {
+            if log.schedule_for(layer).kind != ScheduleKind::Tuned {
+                continue; // mis-tuned originals can go either way
+            }
+            total += 1;
+            let t0 = b.latency_ms(layer, &d);
+            let t1 = b.latency_ms(&layer.pruned_by(1).unwrap(), &d);
+            if t0 / t1 < 0.25 {
+                catastrophic += 1;
+            }
+        }
+        assert!(
+            catastrophic * 2 > total,
+            "only {catastrophic}/{total} layers show the 0.0x–0.2x pattern"
+        );
+    }
+
+    /// Autotuning removes the spike (our extension of the paper's
+    /// “future solutions” discussion).
+    #[test]
+    fn autotuning_fixes_a_spike() {
+        let d = device();
+        let layer = l14(403); // arbitrary odd size
+        let stock = Tvm::new();
+        let t_before = stock.latency_ms(&layer, &d);
+        let mut log = TuningLog::tophub(d.name());
+        log.autotune(&layer, 300);
+        let tuned = Tvm::with_log(log);
+        let t_after = tuned.latency_ms(&layer, &d);
+        assert!(
+            t_after < t_before / 2.0,
+            "autotune: {t_before:.1} -> {t_after:.1} ms"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = device();
+        let b = Tvm::new();
+        assert_eq!(b.latency_ms(&l14(77), &d), b.latency_ms(&l14(77), &d));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based invariants of the backend planner models.
+
+use proptest::prelude::*;
+use pruneperf_backends::{AclDirect, AclDirectTuned, AclGemm, ConvBackend, Cudnn, Tvm};
+use pruneperf_gpusim::Device;
+use pruneperf_models::ConvLayerSpec;
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayerSpec> {
+    (
+        prop_oneof![Just(1usize), Just(3usize)], // kernel
+        1usize..=2,                              // stride
+        4usize..=56,                             // spatial
+        1usize..=256,                            // c_in
+        1usize..=256,                            // c_out
+    )
+        .prop_filter("kernel must fit", |(k, _, hw, _, _)| k <= hw)
+        .prop_map(|(k, s, hw, ci, co)| {
+            let pad = if k == 3 { 1 } else { 0 };
+            ConvLayerSpec::new("Prop.L0", k, s, pad, ci, co, hw, hw)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The ACL GEMM split never loses or invents columns: the dispatched
+    /// gemm_mm kernels cover exactly ceil4(c_out) columns.
+    #[test]
+    fn acl_gemm_split_covers_all_columns(layer in layer_strategy()) {
+        let device = Device::mali_g72_hikey970();
+        let plan = AclGemm::new().plan(&layer, &device);
+        let col_quads: usize = plan
+            .kernels_named("gemm_mm")
+            .map(|k| k.global()[1])
+            .sum();
+        prop_assert_eq!(col_quads * 4, layer.c_out().div_ceil(4) * 4);
+        // At most two gemm kernels, remainder at most 12 columns.
+        let gemms: Vec<_> = plan.kernels_named("gemm_mm").collect();
+        prop_assert!(gemms.len() <= 2);
+        if gemms.len() == 2 {
+            prop_assert!(gemms[1].global()[1] * 4 <= 12);
+        }
+    }
+
+    /// Every backend yields finite positive latency and energy for any
+    /// valid layer, on its matching device.
+    #[test]
+    fn planners_total(layer in layer_strategy()) {
+        let mali = Device::mali_g72_hikey970();
+        let tx2 = Device::jetson_tx2();
+        let cases: Vec<(Box<dyn ConvBackend>, &Device)> = vec![
+            (Box::new(AclGemm::new()), &mali),
+            (Box::new(AclDirect::new()), &mali),
+            (Box::new(AclDirectTuned::new()), &mali),
+            (Box::new(Tvm::new()), &mali),
+            (Box::new(Cudnn::new()), &tx2),
+        ];
+        for (backend, device) in cases {
+            let ms = backend.latency_ms(&layer, device);
+            let mj = backend.energy_mj(&layer, device);
+            prop_assert!(ms.is_finite() && ms > 0.0, "{}: {ms}", backend.name());
+            prop_assert!(mj.is_finite() && mj > 0.0, "{}: {mj}", backend.name());
+        }
+    }
+
+    /// cuDNN latency is monotone non-decreasing in the channel count when
+    /// measured noiselessly (the staircase never goes down as c grows).
+    #[test]
+    fn cudnn_staircase_is_monotone(
+        base in layer_strategy(),
+        c_lo in 1usize..=128,
+        delta in 1usize..=64,
+    ) {
+        prop_assume!(c_lo + delta <= base.c_out().max(c_lo + delta));
+        let layer = ConvLayerSpec::new(
+            "Prop.L0",
+            base.kernel(),
+            base.stride(),
+            base.pad(),
+            base.c_in(),
+            c_lo + delta,
+            base.h_in(),
+            base.w_in(),
+        );
+        let device = Device::jetson_tx2();
+        let b = Cudnn::new();
+        let t_lo = b.latency_ms(&layer.with_c_out(c_lo).unwrap(), &device);
+        let t_hi = b.latency_ms(&layer, &device);
+        prop_assert!(t_hi >= t_lo * 0.999, "t({c_lo})={t_lo} t({})={t_hi}", c_lo + delta);
+    }
+
+    /// The auto-tuned direct backend never loses to the heuristic.
+    #[test]
+    fn autotuner_dominates_heuristic(layer in layer_strategy()) {
+        let device = Device::mali_g72_hikey970();
+        let t_h = AclDirect::new().latency_ms(&layer, &device);
+        let t_t = AclDirectTuned::new().latency_ms(&layer, &device);
+        prop_assert!(t_t <= t_h * 1.0001, "tuned {t_t} heuristic {t_h}");
+    }
+
+    /// TVM plans are stable under tuning-log serde round trips.
+    #[test]
+    fn tvm_stable_under_log_round_trip(layer in layer_strategy()) {
+        use pruneperf_backends::tuning::TuningLog;
+        let device = Device::mali_g72_hikey970();
+        let mut log = TuningLog::tophub(device.name());
+        log.autotune(&layer, 25);
+        let json = serde_json::to_string(&log).expect("serializes");
+        let back: TuningLog = serde_json::from_str(&json).expect("parses");
+        let a = Tvm::with_log(log).latency_ms(&layer, &device);
+        let b = Tvm::with_log(back).latency_ms(&layer, &device);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Instruction counts across the ACL GEMM chain grow with channel
+    /// count, up to one 16-column macro-tile of padding slack: a single
+    /// padded kernel can execute up to 16 columns beyond `c4`, so e.g. 245
+    /// channels (padded to 256) may retire slightly more instructions than
+    /// 249 (split as 240 + 12) — real ACL behaves the same way.
+    #[test]
+    fn acl_gemm_instructions_monotone_in_c4_with_tile_slack(
+        layer in layer_strategy(),
+        smaller in 1usize..=255,
+    ) {
+        prop_assume!(smaller < layer.c_out());
+        let device = Device::mali_g72_hikey970();
+        let big_plan = AclGemm::new().plan(&layer, &device);
+        let big = big_plan.chain().total_arith();
+        let small = AclGemm::new()
+            .plan(&layer.with_c_out(smaller).unwrap(), &device)
+            .chain()
+            .total_arith();
+        // One macro-tile of slack: 16 columns x (M/4 quads) x per-item cost.
+        let per_item = big_plan
+            .kernels_named("gemm_mm")
+            .next()
+            .expect("plan has a gemm")
+            .arith_per_item();
+        let (out_h, out_w) = layer.out_hw();
+        let slack = (out_h * out_w).div_ceil(4) as u64 * 4 * per_item;
+        prop_assert!(
+            small <= big + slack,
+            "arith({smaller})={small} > arith({})={big} + slack {slack}",
+            layer.c_out()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §6.
+//!
+//! Each group benches the same workload under two configurations; the
+//! Criterion report's *ratio between the measured model outputs* is the
+//! ablation result (printed to stderr once per group for convenience).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pruneperf_backends::{tuning::TuningLog, AclDirect, AclGemm, ConvBackend, Tvm};
+use pruneperf_core::{accuracy::AccuracyModel, PerfAwarePruner, UninstructedPruner};
+use pruneperf_gpusim::Device;
+use pruneperf_models::resnet50;
+use pruneperf_profiler::LayerProfiler;
+
+/// Ablation 1 — job dispatch/sync overhead on vs off: shows the ACL GEMM
+/// slow staircase is caused by the extra job, not the extra instructions.
+fn ablation_job_overhead(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let stripped = device.without_job_overhead();
+    let layer = resnet50()
+        .layer("ResNet.L16")
+        .unwrap()
+        .with_c_out(92) // split configuration
+        .unwrap();
+    let backend = AclGemm::new();
+    let with = backend.latency_ms(&layer, &device);
+    let without = backend.latency_ms(&layer, &stripped);
+    eprintln!(
+        "[ablation_job_overhead] split layer 92ch: {with:.2} ms with job overhead, \
+         {without:.2} ms without ({:.2}x)",
+        with / without
+    );
+    let mut group = c.benchmark_group("ablation_job_overhead");
+    group.bench_function("with_overhead", |b| {
+        b.iter(|| black_box(backend.latency_ms(&layer, &device)))
+    });
+    group.bench_function("without_overhead", |b| {
+        b.iter(|| black_box(backend.latency_ms(&layer, &stripped)))
+    });
+    group.finish();
+}
+
+/// Ablation 2 — workgroup auto-tuning vs the ACL heuristic (the paper's
+/// reference [23] reports ~3.79x mean speedup from auto-tuned workgroups).
+/// We emulate auto-tuning by always granting the best shape `(4,1,1)`.
+fn ablation_workgroup_autotune(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let backend = AclDirect::new();
+    // An odd channel count: the heuristic picks the slow (1,1,8) shape.
+    let odd = resnet50()
+        .layer("ResNet.L14")
+        .unwrap()
+        .with_c_out(401)
+        .unwrap();
+    // Auto-tuned equivalent: the same amount of work at a multiple-of-4
+    // count that maps to (4,1,1).
+    let tuned = resnet50()
+        .layer("ResNet.L14")
+        .unwrap()
+        .with_c_out(404)
+        .unwrap();
+    let t_odd = backend.latency_ms(&odd, &device);
+    let t_tuned = backend.latency_ms(&tuned, &device);
+    eprintln!(
+        "[ablation_workgroup_autotune] heuristic (1,1,8): {t_odd:.2} ms vs \
+         auto-tuned (4,1,1): {t_tuned:.2} ms ({:.2}x, with 3 extra channels)",
+        t_odd / t_tuned
+    );
+    let mut group = c.benchmark_group("ablation_workgroup_autotune");
+    group.bench_function("heuristic_shape", |b| {
+        b.iter(|| black_box(backend.latency_ms(&odd, &device)))
+    });
+    group.bench_function("autotuned_shape", |b| {
+        b.iter(|| black_box(backend.latency_ms(&tuned, &device)))
+    });
+    group.finish();
+}
+
+/// Ablation 3 — occupancy-dependent latency hiding on vs off: collapses
+/// the penalty of the tiny remainder GEMM kernel.
+fn ablation_latency_hiding(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let perfect = device.with_perfect_latency_hiding();
+    let layer = resnet50()
+        .layer("ResNet.L16")
+        .unwrap()
+        .with_c_out(92)
+        .unwrap();
+    let backend = AclGemm::new();
+    eprintln!(
+        "[ablation_latency_hiding] split layer 92ch: {:.2} ms normal vs {:.2} ms \
+         with perfect hiding",
+        backend.latency_ms(&layer, &device),
+        backend.latency_ms(&layer, &perfect),
+    );
+    let mut group = c.benchmark_group("ablation_latency_hiding");
+    group.bench_function("occupancy_model", |b| {
+        b.iter(|| black_box(backend.latency_ms(&layer, &device)))
+    });
+    group.bench_function("perfect_hiding", |b| {
+        b.iter(|| black_box(backend.latency_ms(&layer, &perfect)))
+    });
+    group.finish();
+}
+
+/// Ablation 4 — performance-aware vs uninstructed pruning, end to end on
+/// ResNet-50 (the paper's §V proposal vs the §I status quo).
+fn ablation_pruning_policy(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let profiler = LayerProfiler::noiseless(&device);
+    let net = resnet50();
+    let acc = AccuracyModel::for_network(&net);
+    let backend = AclGemm::new();
+    let aware = PerfAwarePruner::new(&profiler, &acc);
+    let naive = UninstructedPruner::new(&profiler, &acc);
+
+    let plan_aware = aware.prune_to_latency(&backend, &net, 0.8);
+    let plan_naive = naive.prune_to_fraction(&backend, &net, 0.9);
+    eprintln!(
+        "[ablation_pruning_policy] perf-aware: {:.1} ms @ acc {:.4} | uninstructed: \
+         {:.1} ms @ acc {:.4}",
+        plan_aware.latency_ms(),
+        plan_aware.accuracy(),
+        plan_naive.latency_ms(),
+        plan_naive.accuracy(),
+    );
+    let mut group = c.benchmark_group("ablation_pruning_policy");
+    group.sample_size(10);
+    group.bench_function("perf_aware_prune", |b| {
+        b.iter(|| black_box(aware.prune_to_latency(&backend, &net, 0.8).latency_ms()))
+    });
+    group.bench_function("uninstructed_prune", |b| {
+        b.iter(|| black_box(naive.prune_to_fraction(&backend, &net, 0.9).latency_ms()))
+    });
+    group.finish();
+}
+
+/// Ablation 5 — TVM stock tuning log vs an autotuned log over a pruned
+/// layer sweep (the fix for the Fig 20 spikes).
+fn ablation_tvm_autotune(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let layer = resnet50()
+        .layer("ResNet.L14")
+        .unwrap()
+        .with_c_out(451)
+        .unwrap();
+    let stock = Tvm::new();
+    let mut log = TuningLog::tophub(device.name());
+    log.autotune(&layer, 300);
+    let tuned = Tvm::with_log(log);
+    eprintln!(
+        "[ablation_tvm_autotune] L14@451: stock {:.1} ms vs autotuned {:.1} ms",
+        stock.latency_ms(&layer, &device),
+        tuned.latency_ms(&layer, &device),
+    );
+    let mut group = c.benchmark_group("ablation_tvm_autotune");
+    group.bench_function("stock_log", |b| {
+        b.iter(|| black_box(stock.latency_ms(&layer, &device)))
+    });
+    group.bench_function("autotuned_log", |b| {
+        b.iter(|| black_box(tuned.latency_ms(&layer, &device)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(20);
+    targets = ablation_job_overhead, ablation_workgroup_autotune,
+        ablation_latency_hiding, ablation_pruning_policy, ablation_tvm_autotune
+}
+criterion_main!(ablations);

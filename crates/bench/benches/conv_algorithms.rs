@@ -1,0 +1,70 @@
+//! Criterion benches of the reference convolution algorithms themselves —
+//! the numerical substrate whose FLOP accounting the simulator's
+//! instruction-mix models are validated against (§II-A's direct vs GEMM
+//! trade, plus the Winograd and depthwise variants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pruneperf_models::{weights, ConvLayerSpec};
+use pruneperf_tensor::conv::{direct, grouped, im2col_gemm, winograd};
+
+fn layer(c_in: usize, c_out: usize, hw: usize) -> ConvLayerSpec {
+    ConvLayerSpec::new("Bench.L0", 3, 1, 1, c_in, c_out, hw, hw)
+}
+
+fn algorithms_3x3(c: &mut Criterion) {
+    let spec = layer(16, 16, 28);
+    let x = weights::synthetic_input(&spec);
+    let w = weights::synthetic_weights(&spec);
+    let p = spec.params();
+    let mut group = c.benchmark_group("conv3x3_16ch_28px");
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(direct::conv2d(&x, &w, p).expect("valid")))
+    });
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| black_box(im2col_gemm::conv2d(&x, &w, p).expect("valid")))
+    });
+    group.bench_function("winograd_f2x3", |b| {
+        b.iter(|| black_box(winograd::conv2d(&x, &w, p).expect("valid")))
+    });
+    group.finish();
+}
+
+fn depthwise_vs_dense(c: &mut Criterion) {
+    let dense = layer(32, 32, 28);
+    let dw = ConvLayerSpec::new_grouped("Bench.DW", 3, 1, 1, 32, 32, 28, 28, 32);
+    let x = weights::synthetic_input(&dense);
+    let wd = weights::synthetic_weights(&dense);
+    let wg = weights::synthetic_weights(&dw);
+    let p = dense.params();
+    let mut group = c.benchmark_group("dense_vs_depthwise_32ch");
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(direct::conv2d(&x, &wd, p).expect("valid")))
+    });
+    group.bench_function("depthwise", |b| {
+        b.iter(|| black_box(grouped::conv2d_depthwise(&x, &wg, p).expect("valid")))
+    });
+    group.finish();
+}
+
+fn gemm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col_gemm_vs_channels");
+    for c_out in [8usize, 32, 64] {
+        let spec = layer(16, c_out, 28);
+        let x = weights::synthetic_input(&spec);
+        let w = weights::synthetic_weights(&spec);
+        let p = spec.params();
+        group.bench_with_input(BenchmarkId::from_parameter(c_out), &c_out, |b, _| {
+            b.iter(|| black_box(im2col_gemm::conv2d(&x, &w, p).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = conv_algorithms;
+    config = Criterion::default().sample_size(10);
+    targets = algorithms_3x3, depthwise_vs_dense, gemm_scaling
+}
+criterion_main!(conv_algorithms);

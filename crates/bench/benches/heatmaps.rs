@@ -1,0 +1,127 @@
+//! Criterion benches for the heatmap experiments (Figs 1, 6, 8–11, 13,
+//! 16, 17, 19): time to regenerate each speedup/slowdown table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pruneperf_backends::{AclDirect, AclGemm, ConvBackend, Cudnn, Tvm};
+use pruneperf_core::analysis;
+use pruneperf_gpusim::Device;
+use pruneperf_models::{alexnet, resnet50, vgg16, Network};
+use pruneperf_profiler::LayerProfiler;
+
+fn heatmap_bench(
+    c: &mut Criterion,
+    name: &str,
+    device: &Device,
+    backend: &dyn ConvBackend,
+    network: &Network,
+    slowdown: bool,
+) {
+    let profiler = LayerProfiler::new(device);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let h = if slowdown {
+                analysis::slowdown_table(&profiler, backend, network, &analysis::FIG1_DISTANCES)
+            } else {
+                analysis::speedup_table(&profiler, backend, network, &analysis::PAPER_DISTANCES)
+            };
+            black_box(h.max_ratio())
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let hikey = Device::mali_g72_hikey970();
+    let tx2 = Device::jetson_tx2();
+    let resnet = resnet50();
+    let vgg = vgg16();
+    let alex = alexnet();
+    heatmap_bench(
+        c,
+        "fig1_slowdown_acl_gemm_resnet",
+        &hikey,
+        &AclGemm::new(),
+        &resnet,
+        true,
+    );
+    heatmap_bench(
+        c,
+        "fig6_speedup_cudnn_resnet",
+        &tx2,
+        &Cudnn::new(),
+        &resnet,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig8_speedup_cudnn_vgg",
+        &tx2,
+        &Cudnn::new(),
+        &vgg,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig9_speedup_cudnn_alexnet",
+        &tx2,
+        &Cudnn::new(),
+        &alex,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig10_speedup_direct_resnet",
+        &hikey,
+        &AclDirect::new(),
+        &resnet,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig11_speedup_direct_vgg",
+        &hikey,
+        &AclDirect::new(),
+        &vgg,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig13_speedup_gemm_resnet",
+        &hikey,
+        &AclGemm::new(),
+        &resnet,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig16_speedup_gemm_vgg",
+        &hikey,
+        &AclGemm::new(),
+        &vgg,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig17_speedup_gemm_alexnet",
+        &hikey,
+        &AclGemm::new(),
+        &alex,
+        false,
+    );
+    heatmap_bench(
+        c,
+        "fig19_speedup_tvm_resnet",
+        &hikey,
+        &Tvm::new(),
+        &resnet,
+        false,
+    );
+}
+
+criterion_group! {
+    name = heatmaps;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(heatmaps);

@@ -1,0 +1,71 @@
+//! Benches of the §V performance-aware pruning loop components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pruneperf_backends::AclGemm;
+use pruneperf_core::{accuracy::AccuracyModel, PerfAwarePruner, Staircase};
+use pruneperf_gpusim::Device;
+use pruneperf_models::resnet50;
+use pruneperf_profiler::LayerProfiler;
+
+fn staircase_detection(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let profiler = LayerProfiler::new(&device);
+    let layer = resnet50().layer("ResNet.L45").unwrap().clone();
+    let curve = profiler.latency_curve(&AclGemm::new(), &layer, 1..=2048);
+    c.bench_function("staircase_detect_2048_points", |b| {
+        b.iter(|| black_box(Staircase::detect(&curve).optimal_points().len()))
+    });
+}
+
+fn candidate_generation(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let profiler = LayerProfiler::noiseless(&device);
+    let net = resnet50();
+    let acc = AccuracyModel::for_network(&net);
+    let pruner = PerfAwarePruner::new(&profiler, &acc);
+    let backend = AclGemm::new();
+    let layer = net.layer("ResNet.L16").unwrap().clone();
+    c.bench_function("candidates_for_L16", |b| {
+        b.iter(|| black_box(pruner.candidates_for(&backend, &layer).len()))
+    });
+}
+
+fn full_pruning_loop(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let profiler = LayerProfiler::noiseless(&device);
+    let net = resnet50();
+    let acc = AccuracyModel::for_network(&net);
+    let pruner = PerfAwarePruner::new(&profiler, &acc);
+    let backend = AclGemm::new();
+    let mut group = c.benchmark_group("prune_resnet50_to_latency");
+    group.sample_size(10);
+    group.bench_function("budget_0.8", |b| {
+        b.iter(|| black_box(pruner.prune_to_latency(&backend, &net, 0.8).latency_ms()))
+    });
+    group.bench_function("budget_0.5", |b| {
+        b.iter(|| black_box(pruner.prune_to_latency(&backend, &net, 0.5).latency_ms()))
+    });
+    group.finish();
+}
+
+fn accuracy_model(c: &mut Criterion) {
+    let net = resnet50();
+    let acc = AccuracyModel::for_network(&net);
+    let kept: std::collections::HashMap<String, usize> = net
+        .layers()
+        .iter()
+        .map(|l| (l.label().to_string(), (l.c_out() * 3 / 4).max(1)))
+        .collect();
+    c.bench_function("accuracy_with_full_resnet_map", |b| {
+        b.iter(|| black_box(acc.accuracy_with(&kept)))
+    });
+}
+
+criterion_group! {
+    name = pruning_loop;
+    config = Criterion::default().sample_size(20);
+    targets = staircase_detection, candidate_generation, full_pruning_loop, accuracy_model
+}
+criterion_main!(pruning_loop);

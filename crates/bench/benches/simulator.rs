@@ -1,0 +1,83 @@
+//! Microbenches of the GPU simulator itself: per-chain execution cost for
+//! the kernels the backends emit, plus the heterogeneous list scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pruneperf_backends::{AclGemm, ConvBackend, Cudnn};
+use pruneperf_gpusim::{Device, Engine, JobChain, KernelDesc};
+use pruneperf_models::resnet50;
+
+fn chain_execution(c: &mut Criterion) {
+    let hikey = Device::mali_g72_hikey970();
+    let tx2 = Device::jetson_tx2();
+    let l16 = resnet50().layer("ResNet.L16").unwrap().clone();
+    let gemm_plan = AclGemm::new().plan(&l16, &hikey);
+    let cudnn_plan = Cudnn::new().plan(&l16, &tx2);
+
+    let mut group = c.benchmark_group("run_chain");
+    group.bench_function("acl_gemm_l16_on_g72", |b| {
+        let engine = Engine::new(&hikey);
+        b.iter(|| black_box(engine.run_chain(gemm_plan.chain()).total_time_us()))
+    });
+    group.bench_function("cudnn_l16_on_tx2", |b| {
+        let engine = Engine::new(&tx2);
+        b.iter(|| black_box(engine.run_chain(cudnn_plan.chain()).total_time_us()))
+    });
+    group.finish();
+}
+
+fn kernel_scaling(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let engine = Engine::new(&device);
+    let mut group = c.benchmark_group("kernel_time_vs_workgroups");
+    for wgs in [16usize, 256, 4096, 65536] {
+        let kernel = KernelDesc::builder("k")
+            .global([wgs * 4, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(1000)
+            .mem_per_item(100)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(wgs), &kernel, |b, k| {
+            b.iter(|| black_box(engine.kernel_time_us(k)))
+        });
+    }
+    group.finish();
+}
+
+fn list_scheduler(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let engine = Engine::new(&device);
+    let costs: Vec<f64> = (0..10_000).map(|i| 100.0 + (i % 97) as f64).collect();
+    c.bench_function("makespan_10k_heterogeneous_workgroups", |b| {
+        b.iter(|| black_box(engine.makespan_cycles(&costs)))
+    });
+}
+
+fn full_network_plan(c: &mut Criterion) {
+    let device = Device::mali_g72_hikey970();
+    let backend = AclGemm::new();
+    let net = resnet50();
+    c.bench_function("plan_and_time_all_23_resnet_layers", |b| {
+        b.iter(|| {
+            let total: f64 = net
+                .layers()
+                .iter()
+                .map(|l| backend.latency_ms(l, &device))
+                .sum();
+            black_box(total)
+        })
+    });
+    // Also exercise an empty chain for baseline overhead.
+    let engine = Engine::new(&device);
+    c.bench_function("run_chain_empty", |b| {
+        b.iter(|| black_box(engine.run_chain(&JobChain::new()).total_time_us()))
+    });
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().sample_size(20);
+    targets = chain_execution, kernel_scaling, list_scheduler, full_network_plan
+}
+criterion_main!(simulator);

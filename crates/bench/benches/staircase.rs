@@ -1,0 +1,90 @@
+//! Criterion benches for the staircase experiments (Figs 2–5, 7, 12, 14,
+//! 15, 20): time to regenerate each latency-vs-channels sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pruneperf_backends::{AclDirect, AclGemm, ConvBackend, Cudnn, Tvm};
+use pruneperf_gpusim::Device;
+use pruneperf_models::resnet50;
+use pruneperf_profiler::LayerProfiler;
+
+fn sweep_bench(
+    c: &mut Criterion,
+    name: &str,
+    device: &Device,
+    backend: &dyn ConvBackend,
+    label: &str,
+) {
+    let layer = resnet50().layer(label).expect("catalog layer").clone();
+    let profiler = LayerProfiler::new(device);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let curve = profiler.latency_curve(backend, &layer, 1..=layer.c_out());
+            black_box(curve.points().len())
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    let hikey = Device::mali_g72_hikey970();
+    let tx2 = Device::jetson_tx2();
+    let nano = Device::jetson_nano();
+    sweep_bench(
+        c,
+        "fig2_sweep_cudnn_tx2_L26",
+        &tx2,
+        &Cudnn::new(),
+        "ResNet.L26",
+    );
+    sweep_bench(
+        c,
+        "fig4_sweep_cudnn_tx2_L16",
+        &tx2,
+        &Cudnn::new(),
+        "ResNet.L16",
+    );
+    sweep_bench(
+        c,
+        "fig5_sweep_cudnn_tx2_L14",
+        &tx2,
+        &Cudnn::new(),
+        "ResNet.L14",
+    );
+    sweep_bench(
+        c,
+        "fig7_sweep_cudnn_nano_L14",
+        &nano,
+        &Cudnn::new(),
+        "ResNet.L14",
+    );
+    sweep_bench(
+        c,
+        "fig12_sweep_acl_direct_L14",
+        &hikey,
+        &AclDirect::new(),
+        "ResNet.L14",
+    );
+    sweep_bench(
+        c,
+        "fig14_sweep_acl_gemm_L16",
+        &hikey,
+        &AclGemm::new(),
+        "ResNet.L16",
+    );
+    sweep_bench(
+        c,
+        "fig15_sweep_acl_gemm_L45",
+        &hikey,
+        &AclGemm::new(),
+        "ResNet.L45",
+    );
+    sweep_bench(c, "fig20_sweep_tvm_L14", &hikey, &Tvm::new(), "ResNet.L14");
+}
+
+criterion_group! {
+    name = staircase;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(staircase);

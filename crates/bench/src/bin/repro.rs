@@ -1,0 +1,139 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list            # show available experiment ids
+//! repro fig14 table1    # run specific experiments
+//! repro all             # run everything, print a summary
+//! repro summary         # run everything, print one line per experiment
+//! repro all --json out.json --csv-dir csv/
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use pruneperf_bench::{all_ids, run, ExperimentResult};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: repro <list | all | id...> [--json <path>] [--csv-dir <dir>]");
+        eprintln!("ids: {}", all_ids().join(" "));
+        return ExitCode::from(2);
+    }
+    if args[0] == "list" {
+        for id in all_ids() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args[0] == "summary" {
+        let mut all_ok = true;
+        for id in all_ids() {
+            let r = run(id).expect("registry is complete");
+            let ok = r.findings.iter().filter(|f| f.ok).count();
+            println!(
+                "{:<8} {:>2}/{:<2} findings ok  {}",
+                r.id,
+                ok,
+                r.findings.len(),
+                r.title
+            );
+            all_ok &= r.all_ok();
+        }
+        return if all_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next();
+            if json_path.is_none() {
+                eprintln!("--json needs a path");
+                return ExitCode::from(2);
+            }
+        } else if a == "--csv-dir" {
+            csv_dir = it.next();
+            if csv_dir.is_none() {
+                eprintln!("--csv-dir needs a directory");
+                return ExitCode::from(2);
+            }
+        } else {
+            ids.push(a);
+        }
+    }
+    if ids.len() == 1 && ids[0] == "all" {
+        ids = all_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    for id in &ids {
+        match run(id) {
+            Some(r) => {
+                println!("{r}");
+                results.push(r);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Summary.
+    let total_findings: usize = results.iter().map(|r| r.findings.len()).sum();
+    let ok_findings: usize = results
+        .iter()
+        .flat_map(|r| &r.findings)
+        .filter(|f| f.ok)
+        .count();
+    println!(
+        "summary: {}/{} experiments fully in band, {ok_findings}/{total_findings} findings ok",
+        results.iter().filter(|r| r.all_ok()).count(),
+        results.len()
+    );
+
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("failed to create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut written = 0usize;
+        for r in &results {
+            if let Some(csv) = &r.csv {
+                let path = format!("{dir}/{}.csv", r.id);
+                if let Err(e) = std::fs::write(&path, csv) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                written += 1;
+            }
+        }
+        println!("wrote {written} CSV file(s) to {dir}");
+    }
+
+    if let Some(path) = json_path {
+        match std::fs::File::create(&path).and_then(|mut f| {
+            let body = serde_json::to_string_pretty(&results).expect("results serialize");
+            f.write_all(body.as_bytes())
+        }) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if results.iter().all(|r| r.all_ok()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,365 @@
+//! Experiments beyond the paper's figures: the extensions `DESIGN.md`
+//! motivates (auto-tuned workgroups, depthwise networks, energy-aware
+//! pruning) plus the Odroid XU4 claims the paper states without a figure.
+
+use pruneperf_backends::{
+    AclAuto, AclDirect, AclDirectTuned, AclGemm, AclMethod, ConvBackend, Tvm,
+};
+use pruneperf_core::shootout::Shootout;
+use pruneperf_core::{accuracy::AccuracyModel, PerfAwarePruner, Staircase, UninstructedPruner};
+use pruneperf_gpusim::Device;
+use pruneperf_models::{mobilenet_v1, resnet50};
+use pruneperf_profiler::LayerProfiler;
+
+use super::util::{curve_text, hikey, resnet_layer, sweep};
+use super::{ExperimentResult, Finding};
+
+/// ext1 — auto-tuned workgroup sizes vs the ACL heuristic (the paper's
+/// deferred future work; its reference \[23\] reports 3.79× mean speedup).
+pub fn ext1() -> ExperimentResult {
+    let device = hikey();
+    let heuristic = AclDirect::new();
+    let tuned = AclDirectTuned::new();
+    let mut body = String::from("layer           channels  heuristic_ms  tuned_ms  speedup\n");
+    let mut worst_case_speedup = 1.0f64;
+    let mut never_slower = true;
+    for label in ["ResNet.L1", "ResNet.L5", "ResNet.L14", "ResNet.L16"] {
+        let base = resnet_layer(label);
+        for c in [base.c_out(), base.c_out() - 1, base.c_out() - 3] {
+            let layer = base.with_c_out(c).expect("valid count");
+            let t_h = heuristic.latency_ms(&layer, &device);
+            let t_t = tuned.latency_ms(&layer, &device);
+            let speedup = t_h / t_t;
+            body.push_str(&format!(
+                "{label:<15} {c:>8}  {t_h:>12.3}  {t_t:>8.3}  {speedup:>6.2}x\n"
+            ));
+            worst_case_speedup = worst_case_speedup.max(speedup);
+            never_slower &= t_t <= t_h * 1.0001;
+        }
+    }
+    let findings = vec![
+        Finding::claim(
+            "auto-tuning never loses to the heuristic",
+            "search space is a superset of ACL's shapes",
+            never_slower,
+        ),
+        Finding::ratio(
+            "best auto-tuning speedup over the heuristic",
+            3.79,
+            worst_case_speedup,
+            (1.3, 4.5),
+        ),
+    ];
+    ExperimentResult {
+        id: "ext1".into(),
+        title: "Extension: auto-tuned direct-convolution workgroups (papers future work, ref 23)"
+            .into(),
+        body,
+        findings,
+        csv: None,
+    }
+}
+
+/// ext2 — MobileNetV1's pointwise layers show the same ACL GEMM staircases
+/// the paper reports for dense networks.
+pub fn ext2() -> ExperimentResult {
+    let device = hikey();
+    let layer = mobilenet_v1()
+        .layer("MobileNet.L12")
+        .expect("catalog has L12")
+        .clone(); // pointwise 256 -> 512
+    let curve = sweep(&device, &AclGemm::new(), &layer);
+    let staircase = Staircase::detect(&curve);
+    let t511 = curve.ms_at(511).expect("profiled");
+    let t512 = curve.ms_at(512).expect("profiled");
+    let findings = vec![
+        Finding::claim(
+            "pointwise layers of depthwise-separable networks show the split staircase",
+            "same planner, same anomaly",
+            staircase.optimal_points().len() < curve.points().len() / 4,
+        ),
+        Finding::claim(
+            "pruning one channel from the stock 512 stays safe (c4 % 8 == 0)",
+            "511 -> padded single kernel",
+            (t511 / t512 - 1.0).abs() < 0.1,
+        ),
+    ];
+    ExperimentResult {
+        id: "ext2".into(),
+        title: "Extension: MobileNetV1 pointwise staircase (ACL GEMM, Mali G72)".into(),
+        body: curve_text(&curve, 32),
+        findings,
+        csv: None,
+    }
+}
+
+/// ext3 — energy-aware pruning: the same §V loop driven by the energy
+/// model instead of latency.
+pub fn ext3() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::noiseless(&device);
+    let network = resnet50();
+    let accuracy = AccuracyModel::for_network(&network);
+    let backend = AclGemm::new();
+    let pruner = PerfAwarePruner::new(&profiler, &accuracy);
+    let full =
+        UninstructedPruner::new(&profiler, &accuracy).prune_by_distance(&backend, &network, 0);
+    let plan = pruner.prune_to_energy(&backend, &network, 0.75);
+    let body = format!(
+        "unpruned ResNet-50: {:.1} ms, {:.1} mJ, accuracy {:.4}\n\
+         energy-aware plan (0.75 budget): {:.1} ms, {:.1} mJ, accuracy {:.4}\n",
+        full.latency_ms(),
+        full.energy_mj(),
+        full.accuracy(),
+        plan.latency_ms(),
+        plan.energy_mj(),
+        plan.accuracy()
+    );
+    let findings = vec![
+        Finding::claim(
+            "energy budget met",
+            "<= 75% of unpruned energy",
+            plan.energy_mj() <= full.energy_mj() * 0.75 * 1.001,
+        ),
+        Finding::claim(
+            "energy savings come with latency savings",
+            "ops dominate both costs",
+            plan.latency_ms() < full.latency_ms(),
+        ),
+        Finding::claim(
+            "accuracy cost stays moderate",
+            "> 0.70 under the surrogate",
+            plan.accuracy() > 0.70,
+        ),
+    ];
+    ExperimentResult {
+        id: "ext3".into(),
+        title: "Extension: energy-aware pruning (ResNet-50, ACL GEMM, Mali G72)".into(),
+        body,
+        findings,
+        csv: None,
+    }
+}
+
+/// ext4 — the Odroid XU4 (Mali T628) claims the paper states in prose:
+/// “Similar patterns were observed when running both on the HiKey 970 and
+/// on the Odroid XU4” (§IV-A2) and the TVM “bad decisions are also
+/// observed on the other Mali platforms (Odroid XU4)” (§IV-A4).
+pub fn ext4() -> ExperimentResult {
+    let odroid = Device::mali_t628_odroidxu4();
+    let layer = resnet_layer("ResNet.L16");
+    let curve = sweep(&odroid, &AclGemm::new(), &layer);
+    let t92 = curve.ms_at(92).expect("profiled");
+    let t96 = curve.ms_at(96).expect("profiled");
+    let hikey_ratio = {
+        let h = hikey();
+        let b = AclGemm::new();
+        b.latency_ms(&layer, &h)
+    };
+    let t128 = curve.ms_at(128).expect("profiled");
+    let tvm_jumps = {
+        let tvm_curve = sweep(&odroid, &Tvm::new(), &resnet_layer("ResNet.L14"));
+        tvm_curve.max_adjacent_ratio().map(|r| r.2).unwrap_or(1.0)
+    };
+    let findings = vec![
+        Finding::ratio(
+            "ACL GEMM split penalty exists on the T628 too (92 vs 96 ch)",
+            1.6,
+            t92 / t96,
+            (1.2, 2.6),
+        ),
+        Finding::claim(
+            "the older T628 is slower than the G72 on the same layer",
+            "device tiering",
+            t128 > hikey_ratio * 2.0,
+        ),
+        Finding::ratio(
+            "TVM fallback spikes appear on the T628",
+            10.5,
+            tvm_jumps,
+            (4.0, 45.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "ext4".into(),
+        title: "Extension: Odroid XU4 (Mali T628) shows the same patterns (§IV-A2/§IV-A4 prose)"
+            .into(),
+        body: curve_text(&curve, 8),
+        findings,
+        csv: None,
+    }
+}
+
+/// ext5 — the §V discussion as data: “no optimal library exists to
+/// outperform across all neural network layers”, and the cross-library
+/// oracle quantifies what “integrating optimizations from across different
+/// deep learning libraries” would buy.
+pub fn ext5() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::noiseless(&device);
+    let backends: Vec<Box<dyn ConvBackend>> = vec![
+        Box::new(AclDirect::new()),
+        Box::new(AclGemm::new()),
+        Box::new(Tvm::new()),
+        Box::new(AclDirectTuned::new()),
+    ];
+    let shootout = Shootout::run(&profiler, &backends, &resnet50());
+    let (best_idx, best_ms) = shootout.best_single_backend();
+    let oracle = shootout.oracle_ms();
+    let findings = vec![
+        Finding::claim(
+            "no single library wins every ResNet-50 layer on Mali",
+            "§V: neither ACL nor TVM dominates, even with auto-tuning",
+            !shootout.has_dominant_backend(),
+        ),
+        Finding::ratio(
+            "cross-library oracle speedup over the best single library",
+            1.2,
+            best_ms / oracle,
+            (1.01, 2.5),
+        ),
+    ];
+    let mut body = shootout.to_string();
+    body.push_str(&format!(
+        "\nbest single backend: {} at {:.1} ms | cross-library oracle: {:.1} ms\n",
+        shootout.backend_names()[best_idx],
+        best_ms,
+        oracle
+    ));
+    ExperimentResult {
+        id: "ext5".into(),
+        title: "Extension: library shootout and the cross-library oracle (§V discussion)".into(),
+        body,
+        findings,
+        csv: None,
+    }
+}
+
+/// ext6 — the §IV-A2 memory claim quantified: GEMM's patch matrix can
+/// exceed a small device's GPU heap, leaving direct convolution as “the
+/// only method that can actually execute at all”.
+pub fn ext6() -> ExperimentResult {
+    use pruneperf_gpusim::Device;
+    use pruneperf_models::vgg16;
+
+    let tiny = Device::builder("Tiny IoT board (24 MiB heap)")
+        .gpu_heap_mib(24)
+        .build();
+    let roomy = hikey();
+    let vgg = vgg16();
+    let mut body = String::from("layer        gemm_buffers_mib   method@24MiB   method@1GiB\n");
+    let mut forced_direct = 0usize;
+    for layer in vgg.layers() {
+        let mib = AclAuto::gemm_footprint_bytes(layer) / (1024 * 1024);
+        let m_tiny = AclAuto::method_for(layer, &tiny);
+        let m_roomy = AclAuto::method_for(layer, &roomy);
+        if m_tiny == AclMethod::Direct {
+            forced_direct += 1;
+        }
+        body.push_str(&format!(
+            "{:<12} {mib:>16}   {:<12?}   {:<12?}\n",
+            layer.label(),
+            m_tiny,
+            m_roomy
+        ));
+    }
+    let l2 = vgg.layer("VGG.L2").expect("catalog has L2");
+    let blowup =
+        AclAuto::gemm_footprint_bytes(l2) as f64 / (l2.h_in() * l2.w_in() * l2.c_in() * 4) as f64;
+    let findings = vec![
+        Finding::claim(
+            "a tight heap forces direct convolution on the large early layers",
+            "§IV-A2: direct is the only method that can execute at all",
+            forced_direct >= 2,
+        ),
+        Finding::ratio(
+            "GEMM memory blow-up vs the input (3x3 layer)",
+            9.0,
+            blowup,
+            (7.0, 13.0),
+        ),
+        Finding::claim(
+            "a roomy device uses GEMM everywhere",
+            "no spurious fallbacks",
+            vgg.layers()
+                .iter()
+                .all(|l| AclAuto::method_for(l, &roomy) == AclMethod::Gemm),
+        ),
+    ];
+    ExperimentResult {
+        id: "ext6".into(),
+        title: "Extension: memory-forced GEMM-to-Direct fallback (§IV-A2 claim)".into(),
+        body,
+        findings,
+        csv: None,
+    }
+}
+
+/// ext7 — coupled pruning quantified: the paper profiles layers in
+/// isolation (output channels only), but deploying a pruned network also
+/// shrinks every successor's input (`K`) dimension. On sequential networks
+/// the compounding is substantial.
+pub fn ext7() -> ExperimentResult {
+    use pruneperf_models::vgg16;
+    use std::collections::HashMap;
+
+    let device = hikey();
+    let backend = AclGemm::new();
+    let net = vgg16();
+    // Keep 75% everywhere, rounded to the fast staircase (multiples of 8).
+    let kept: HashMap<String, usize> = net
+        .layers()
+        .iter()
+        .map(|l| {
+            let c = ((l.c_out() * 3 / 4) / 8 * 8).max(8);
+            (l.label().to_string(), c)
+        })
+        .collect();
+    let isolated: f64 = net
+        .layers()
+        .iter()
+        .map(|l| {
+            let c = kept[l.label()];
+            backend.latency_ms(&l.with_c_out(c).expect("valid"), &device)
+        })
+        .sum();
+    let coupled_net = net.sequential_with_kept(&kept);
+    let coupled: f64 = coupled_net
+        .layers()
+        .iter()
+        .map(|l| backend.latency_ms(l, &device))
+        .sum();
+    let full: f64 = net
+        .layers()
+        .iter()
+        .map(|l| backend.latency_ms(l, &device))
+        .sum();
+    let body = format!(
+        "VGG-16, keep ~75% per layer (fast-staircase sizes), ACL GEMM on Mali G72\n\
+         unpruned:                    {full:>8.1} ms\n\
+         per-layer view (paper):      {isolated:>8.1} ms  ({:.2}x)\n\
+         coupled deployment:          {coupled:>8.1} ms  ({:.2}x)\n",
+        full / isolated,
+        full / coupled
+    );
+    let findings = vec![
+        Finding::claim(
+            "coupled pruning is faster than the per-layer view predicts",
+            "successors' K dimension shrinks too",
+            coupled < isolated * 0.95,
+        ),
+        Finding::ratio(
+            "extra speedup from input-channel propagation",
+            1.33, // keep 3/4 -> K shrinks to 3/4 on every non-first layer
+            isolated / coupled,
+            (1.1, 1.45),
+        ),
+    ];
+    ExperimentResult {
+        id: "ext7".into(),
+        title: "Extension: coupled (propagated) pruning vs the paper's per-layer view".into(),
+        body,
+        findings,
+        csv: None,
+    }
+}

@@ -1,0 +1,705 @@
+//! Generators for the paper's 20 figures.
+//!
+//! Band choices: the simulator is calibrated to reproduce *shapes* (step
+//! positions, who wins, rough factors), so each finding accepts a band
+//! around the paper's number rather than the exact value — see
+//! `EXPERIMENTS.md` for the recorded outcomes.
+
+use pruneperf_backends::{AclDirect, AclGemm, Cudnn, Tvm};
+use pruneperf_core::{analysis, Staircase};
+use pruneperf_models::{alexnet, resnet50, vgg16};
+use pruneperf_profiler::LayerProfiler;
+
+use super::util::{curve_text, hikey, ms_at, nano, resnet_layer, sweep, tx2};
+use super::{ExperimentResult, Finding};
+
+/// Fig 1: potential slowdown heatmap, ResNet-50 with ACL GEMM on Mali G72.
+pub fn fig01() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::slowdown_table(
+        &profiler,
+        &AclGemm::new(),
+        &resnet50(),
+        &analysis::FIG1_DISTANCES,
+    );
+    let max = heatmap.max_ratio();
+    let prune1_max = (0..heatmap.layer_labels().len())
+        .filter_map(|j| heatmap.cell(0, j))
+        .fold(0.0f64, f64::max);
+    let findings = vec![
+        Finding::ratio("max slowdown anywhere in the table", 1.9, max, (1.2, 3.0)),
+        Finding::claim(
+            "Prune=1 row is harmless (stock sizes minus one stay off the slow staircase)",
+            "Fig 1 row 1: 0.8x-1.2x",
+            prune1_max < 1.25,
+        ),
+    ];
+    ExperimentResult {
+        id: "fig1".into(),
+        title: "Potential slowdown of pruned ResNet-50 layers, ACL GEMM on Mali G72 (HiKey 970)"
+            .into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 2: staircase of a ~1000-channel ResNet-50 layer, cuDNN on Jetson TX2.
+pub fn fig02() -> ExperimentResult {
+    let device = tx2();
+    let layer = resnet_layer("ResNet.L26"); // 1024 filters
+    let curve = sweep(&device, &Cudnn::new(), &layer);
+    let staircase = Staircase::detect(&curve);
+    let t_max = curve.ms_at(1024).unwrap_or(0.0);
+    let findings = vec![
+        Finding::claim(
+            "inference time is a staircase in the channel count",
+            "Fig 2: stepped changes due to workgroup filling",
+            staircase.steps().len() >= 8,
+        ),
+        Finding::in_band(
+            "latency at 1024 channels",
+            "Fig 2 y-axis tops out near 8 ms",
+            t_max,
+            "ms",
+            (2.0, 15.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig2".into(),
+        title: "Staircase: inference time vs channels, ResNet-50 L26 (1024 ch), cuDNN on TX2"
+            .into(),
+        body: curve_text(&curve, 64),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 3: the ACL two-parallel-staircase pattern on a 128-channel layer.
+pub fn fig03() -> ExperimentResult {
+    let device = hikey();
+    let layer = resnet_layer("ResNet.L16");
+    let curve = sweep(&device, &AclGemm::new(), &layer);
+    // Count adjacent jumps larger than 1.3x in either direction — the
+    // signature of points alternating between two staircases.
+    let series = curve.series();
+    let jumps = series
+        .windows(2)
+        .filter(|w| {
+            let r = w[1].1 / w[0].1;
+            !(1.0 / 1.3..=1.3).contains(&r)
+        })
+        .count();
+    let findings = vec![
+        Finding::claim(
+            "two parallel staircases (frequent large jumps between adjacent counts)",
+            "Fig 3: pattern with two parallel staircases",
+            jumps >= 10,
+        ),
+        Finding::in_band(
+            "latency at 128 channels",
+            "Fig 3 y-axis: 5-30 ms",
+            curve.ms_at(128).unwrap_or(0.0),
+            "ms",
+            (5.0, 30.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig3".into(),
+        title: "Inference time of ResNet-50 L16 under pruning, ACL GEMM on Mali G72".into(),
+        body: curve_text(&curve, 8),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 4: cuDNN staircase for ResNet-50 L16 on TX2 with the 1.3x step.
+pub fn fig04() -> ExperimentResult {
+    let device = tx2();
+    let layer = resnet_layer("ResNet.L16");
+    let curve = sweep(&device, &Cudnn::new(), &layer);
+    let t96 = curve.ms_at(96).unwrap();
+    let t97 = curve.ms_at(97).unwrap();
+    let t128 = curve.ms_at(128).unwrap();
+    let staircase = Staircase::detect(&curve);
+    let findings = vec![
+        Finding::ratio("97 vs 96 channels step", 1.3, t97 / t96, (1.1, 1.6)),
+        Finding::claim(
+            "flat performance for all channel counts above 97",
+            "Fig 4: same inference time for 97..128",
+            (t128 / t97 - 1.0).abs() < 0.05,
+        ),
+        Finding::claim(
+            "four optimal execution points (one per 32-wide stair)",
+            "Fig 4: drops at 96 and 64 (and 32)",
+            staircase.optimal_points().len() == 4,
+        ),
+        Finding::in_band(
+            "latency at 128 channels",
+            "Fig 4 y-axis: ~10.5 ms",
+            t128,
+            "ms",
+            (6.0, 16.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig4".into(),
+        title: "Staircase for ResNet-50 L16 with cuDNN on Jetson TX2".into(),
+        body: curve_text(&curve, 8),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 5: cuDNN staircase for ResNet-50 L14 (512 ch) on TX2, uneven gaps.
+pub fn fig05() -> ExperimentResult {
+    let device = tx2();
+    let layer = resnet_layer("ResNet.L14");
+    let curve = sweep(&device, &Cudnn::new(), &layer);
+    let staircase = Staircase::detect(&curve);
+    let findings = vec![
+        Finding::claim(
+            "more stairs than L16 (larger channel count)",
+            "Fig 5: 16 N-tiles of 32",
+            staircase.steps().len() >= 8,
+        ),
+        Finding::in_band(
+            "latency at 512 channels",
+            "Fig 5 y-axis: up to ~4 ms",
+            curve.ms_at(512).unwrap(),
+            "ms",
+            (1.5, 9.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig5".into(),
+        title: "Staircase for ResNet-50 L14 with cuDNN on Jetson TX2".into(),
+        body: curve_text(&curve, 32),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 6: cuDNN speedup heatmap over ResNet-50 on TX2.
+pub fn fig06() -> ExperimentResult {
+    let device = tx2();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &Cudnn::new(),
+        &resnet50(),
+        &analysis::PAPER_DISTANCES,
+    );
+    // Rows Prune=1..31 are all 1.0x in the paper.
+    let mut small_prune_flat = true;
+    for (row, _) in analysis::PAPER_DISTANCES.iter().enumerate().take(5) {
+        for col in 0..heatmap.layer_labels().len() {
+            if let Some(v) = heatmap.cell(row, col) {
+                if (v - 1.0).abs() > 0.06 {
+                    small_prune_flat = false;
+                }
+            }
+        }
+    }
+    let findings = vec![
+        Finding::claim(
+            "no speedup for pruning below the 32-channel tile width",
+            "Fig 6: rows Prune=1..31 all 1.0x",
+            small_prune_flat,
+        ),
+        Finding::ratio(
+            "max speedup at Prune=127",
+            3.3,
+            heatmap.max_ratio(),
+            (1.8, 5.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig6".into(),
+        title: "Speedups from pruning ResNet-50 with cuDNN on Jetson TX2".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 7: the Nano shows the TX2's staircase scaled by the device gap.
+pub fn fig07() -> ExperimentResult {
+    let nano_dev = nano();
+    let tx2_dev = tx2();
+    let layer = resnet_layer("ResNet.L14");
+    let curve = sweep(&nano_dev, &Cudnn::new(), &layer);
+    let t512_nano = curve.ms_at(512).unwrap();
+    let t512_tx2 = ms_at(&tx2_dev, &Cudnn::new(), &layer, 512);
+    let findings = vec![
+        Finding::in_band(
+            "latency at 512 channels on the Nano",
+            "Fig 7 y-axis: up to ~14 ms",
+            t512_nano,
+            "ms",
+            (8.0, 22.0),
+        ),
+        Finding::ratio(
+            "Nano / TX2 latency ratio (same layer)",
+            3.5,
+            t512_nano / t512_tx2,
+            (2.0, 4.5),
+        ),
+        Finding::claim(
+            "same pattern as the TX2 (similar GPU architectures)",
+            "Fig 7: same staircase shape as Fig 5",
+            Staircase::detect(&curve).steps().len() >= 8,
+        ),
+    ];
+    ExperimentResult {
+        id: "fig7".into(),
+        title: "Staircase for ResNet-50 L14 with cuDNN on Jetson Nano".into(),
+        body: curve_text(&curve, 32),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 8: cuDNN speedups over VGG-16.
+pub fn fig08() -> ExperimentResult {
+    let device = tx2();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &Cudnn::new(),
+        &vgg16(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let findings = vec![Finding::ratio(
+        "max speedup at Prune=127",
+        2.8,
+        heatmap.max_ratio(),
+        (1.5, 4.5),
+    )];
+    ExperimentResult {
+        id: "fig8".into(),
+        title: "Speedups from pruning VGG-16 with cuDNN on Jetson TX2".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 9: cuDNN speedups over AlexNet.
+pub fn fig09() -> ExperimentResult {
+    let device = tx2();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &Cudnn::new(),
+        &alexnet(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let findings = vec![Finding::ratio(
+        "max speedup at Prune=127",
+        1.4,
+        heatmap.max_ratio(),
+        (1.1, 2.5),
+    )];
+    ExperimentResult {
+        id: "fig9".into(),
+        title: "Speedups from pruning AlexNet with cuDNN on Jetson TX2".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 10: ACL Direct speedups over ResNet-50 — prune-by-one backfires.
+pub fn fig10() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &AclDirect::new(),
+        &resnet50(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let prune1_min = (0..heatmap.layer_labels().len())
+        .filter_map(|j| heatmap.cell(0, j))
+        .fold(f64::INFINITY, f64::min);
+    let findings = vec![
+        Finding::ratio(
+            "worst Prune=1 cell (sub-unit speedup = slowdown)",
+            0.2,
+            prune1_min,
+            (0.1, 0.7),
+        ),
+        Finding::ratio(
+            "max speedup at Prune=127",
+            16.9,
+            heatmap.max_ratio(),
+            (3.0, 25.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig10".into(),
+        title: "Speedups from pruning ResNet-50 with ACL Direct convolution on HiKey 970".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 11: ACL Direct speedups over VGG-16.
+pub fn fig11() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &AclDirect::new(),
+        &vgg16(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let prune1_min = (0..heatmap.layer_labels().len())
+        .filter_map(|j| heatmap.cell(0, j))
+        .fold(f64::INFINITY, f64::min);
+    let findings = vec![
+        Finding::ratio(
+            "worst Prune=1 cell (3x3 layers suffer mildly)",
+            0.8,
+            prune1_min,
+            (0.55, 1.05),
+        ),
+        Finding::ratio(
+            "max speedup at Prune=127",
+            14.7,
+            heatmap.max_ratio(),
+            (2.5, 22.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig11".into(),
+        title: "Speedups from pruning VGG-16 with ACL Direct convolution on HiKey 970".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 12: three alternating execution levels for ACL Direct on L14.
+pub fn fig12() -> ExperimentResult {
+    let device = hikey();
+    let layer = resnet_layer("ResNet.L14");
+    let curve = sweep(&device, &AclDirect::new(), &layer);
+    let t400 = curve.ms_at(400).unwrap(); // %4 == 0
+    let t402 = curve.ms_at(402).unwrap(); // %2 == 0
+    let t401 = curve.ms_at(401).unwrap(); // odd
+    let findings = vec![
+        Finding::ratio(
+            "spread between the slowest and fastest level",
+            1.9,
+            t401 / t400,
+            (1.4, 2.5),
+        ),
+        Finding::claim(
+            "three execution levels: %4 fastest, %2 middle, odd slowest",
+            "Fig 12: three alternating levels",
+            t400 < t402 && t402 < t401,
+        ),
+        Finding::in_band(
+            "latency near 512 channels",
+            "Fig 12 y-axis: up to ~70 ms",
+            curve.ms_at(512).unwrap(),
+            "ms",
+            (15.0, 100.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig12".into(),
+        title: "Execution pattern of ResNet-50 L14 with ACL Direct convolution on HiKey 970".into(),
+        body: curve_text(&curve, 32),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 13: ACL GEMM speedups over ResNet-50 — no slowdown near stock sizes.
+pub fn fig13() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &AclGemm::new(),
+        &resnet50(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let prune1_min = (0..heatmap.layer_labels().len())
+        .filter_map(|j| heatmap.cell(0, j))
+        .fold(f64::INFINITY, f64::min);
+    let findings = vec![
+        Finding::claim(
+            "no slowdown in the vicinity of the initial number of channels",
+            "Fig 13: Prune=1 row is 0.8x-1.3x (vs Direct's 0.2x)",
+            prune1_min > 0.75,
+        ),
+        Finding::ratio(
+            "max speedup at Prune=127",
+            5.2,
+            heatmap.max_ratio(),
+            (2.0, 8.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig13".into(),
+        title: "Speedups from pruning ResNet-50 with ACL GEMM on HiKey 970".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 14: the two parallel staircases of ACL GEMM on L16, with the
+/// paper's exact callouts (76/78, 92/93, 96/97).
+pub fn fig14() -> ExperimentResult {
+    let device = hikey();
+    let layer = resnet_layer("ResNet.L16");
+    let curve = sweep(&device, &AclGemm::new(), &layer);
+    let t76 = curve.ms_at(76).unwrap();
+    let t78 = curve.ms_at(78).unwrap();
+    let t92 = curve.ms_at(92).unwrap();
+    let t93 = curve.ms_at(93).unwrap();
+    let t96 = curve.ms_at(96).unwrap();
+    let t97 = curve.ms_at(97).unwrap();
+    let findings = vec![
+        Finding::ratio("t(76) / t(78)", 1.83, t76 / t78, (1.3, 2.6)),
+        Finding::claim(
+            "93..96 run at one (fast) level",
+            "Fig 14: channels 93 to 96 executing in 14 ms",
+            (t96 / t93 - 1.0).abs() < 0.08,
+        ),
+        Finding::claim(
+            "92 and 97 jump to the slow staircase",
+            "Fig 14: 92 and 97 at ~23 ms vs 14 ms",
+            t92 > t93 * 1.3 && t97 > t96 * 1.3,
+        ),
+        Finding::in_band(
+            "fast level at 96 channels",
+            "Fig 14: ~14 ms",
+            t96,
+            "ms",
+            (6.0, 20.0),
+        ),
+        Finding::in_band(
+            "slow level at 92 channels",
+            "Fig 14: ~23 ms",
+            t92,
+            "ms",
+            (11.0, 32.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig14".into(),
+        title: "Two parallel staircases: ResNet-50 L16 with ACL GEMM on HiKey 970".into(),
+        body: curve_text(&curve, 4),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 15: the large gap between 2024 and 2036 channels on L45.
+pub fn fig15() -> ExperimentResult {
+    let device = hikey();
+    let layer = resnet_layer("ResNet.L45");
+    let curve = sweep(&device, &AclGemm::new(), &layer);
+    let t2024 = curve.ms_at(2024).unwrap();
+    let t2036 = curve.ms_at(2036).unwrap();
+    let findings = vec![
+        Finding::ratio("t(2036) / t(2024)", 2.57, t2036 / t2024, (1.5, 3.4)),
+        Finding::in_band(
+            "fast configuration (2024 channels)",
+            "Fig 15: 7.67 ms",
+            t2024,
+            "ms",
+            (4.0, 12.0),
+        ),
+        Finding::in_band(
+            "slow configuration (2036 channels)",
+            "Fig 15: 19.69 ms",
+            t2036,
+            "ms",
+            (10.0, 28.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig15".into(),
+        title: "Large latency gap between nearby channel counts: ResNet-50 L45, ACL GEMM".into(),
+        body: curve_text(&curve, 128),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}
+
+/// Fig 16: ACL GEMM speedups over VGG-16.
+pub fn fig16() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &AclGemm::new(),
+        &vgg16(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let findings = vec![Finding::ratio(
+        "max speedup at Prune=127",
+        4.2,
+        heatmap.max_ratio(),
+        (1.8, 8.5),
+    )];
+    ExperimentResult {
+        id: "fig16".into(),
+        title: "Speedups from pruning VGG-16 with ACL GEMM on HiKey 970".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 17: ACL GEMM speedups over AlexNet.
+pub fn fig17() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &AclGemm::new(),
+        &alexnet(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let findings = vec![Finding::ratio(
+        "max speedup at Prune=127",
+        2.5,
+        heatmap.max_ratio(),
+        (1.3, 4.0),
+    )];
+    ExperimentResult {
+        id: "fig17".into(),
+        title: "Speedups from pruning AlexNet with ACL GEMM on HiKey 970".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 18: relative system-level counters for 92/93/96/97 channels.
+pub fn fig18() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let layer = resnet_layer("ResNet.L16");
+    let backend = AclGemm::new();
+    let mut body =
+        String::from("channels  jobs  ctrl_wr  ctrl_rd  interrupts  submissions  runtime_ms\n");
+    let mut by_channels = Vec::new();
+    for c in [92usize, 93, 96, 97] {
+        let pruned = layer.with_c_out(c).unwrap();
+        let t = profiler.timeline(&backend, &pruned);
+        let counters = *t.counters();
+        body.push_str(&format!(
+            "{c:>8}  {:>4}  {:>7}  {:>7}  {:>10}  {:>11}  {:>10.3}\n",
+            counters.jobs,
+            counters.ctrl_reg_writes,
+            counters.ctrl_reg_reads,
+            counters.interrupts,
+            counters.submissions,
+            t.total_ms()
+        ));
+        by_channels.push((c, counters, t.total_ms()));
+    }
+    let (c92, c93, c97) = (&by_channels[0], &by_channels[1], &by_channels[3]);
+    let rel = c92.1.relative_to(&c93.1);
+    let findings = vec![
+        Finding::claim(
+            "92 channels dispatches more jobs than 93 (runtime splits the GEMM)",
+            "Fig 18 / §IV-B1: additional jobs dispatched at 92 channels",
+            rel.jobs.is_some_and(|r| r > 1.0),
+        ),
+        Finding::claim(
+            "control-register traffic and interrupts scale with the extra job",
+            "Fig 18: elevated reads/writes/interrupts for 92 and 97",
+            rel.ctrl_reg_writes.is_some_and(|r| r > 1.0)
+                && rel.interrupts.is_some_and(|r| r > 1.0)
+                && c97.1.jobs > c93.1.jobs,
+        ),
+        Finding::ratio(
+            "runtime ratio 92 vs 93 channels",
+            23.0 / 14.0,
+            c92.2 / c93.2,
+            (1.3, 2.6),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig18".into(),
+        title: "System-level counters for the GEMM split (ResNet-50 L16, Mali G72)".into(),
+        body,
+        findings,
+        csv: None,
+    }
+}
+
+/// Fig 19: TVM speedup heatmap — untuned sizes crater performance.
+pub fn fig19() -> ExperimentResult {
+    let device = hikey();
+    let profiler = LayerProfiler::new(&device);
+    let heatmap = analysis::speedup_table(&profiler, &Tvm::new(), &resnet50(), &[1, 3, 7, 15, 31]);
+    let prune1_min = (0..heatmap.layer_labels().len())
+        .filter_map(|j| heatmap.cell(0, j))
+        .fold(f64::INFINITY, f64::min);
+    let findings = vec![
+        Finding::claim(
+            "some Prune=1 cells are catastrophic (0.0x in the paper's rounding)",
+            "Fig 19: 0.0x cells at Prune=1",
+            prune1_min < 0.2,
+        ),
+        Finding::ratio(
+            "max speedup in the table",
+            13.9,
+            heatmap.max_ratio(),
+            (2.0, 25.0),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig19".into(),
+        title: "Speedups from pruning ResNet-50 with TVM on HiKey 970".into(),
+        body: heatmap.to_string(),
+        findings,
+        csv: Some(heatmap.to_csv()),
+    }
+}
+
+/// Fig 20: TVM's spiky latency curve on L14 — untuned sizes out of the box.
+pub fn fig20() -> ExperimentResult {
+    let device = hikey();
+    let layer = resnet_layer("ResNet.L14");
+    let curve = sweep(&device, &Tvm::new(), &layer);
+    let series = curve.series();
+    // The paper's 10.5x arrow marks the jump between an untuned spike and
+    // the tuned size right next to it.
+    let (_, _, spike_ratio) = curve.max_adjacent_ratio().expect("curve has points");
+    let all_min = series.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let slow_points = series.iter().filter(|p| p.1 > all_min * 4.0).count();
+    let findings = vec![
+        Finding::ratio(
+            "largest jump between adjacent channel counts",
+            10.5,
+            spike_ratio,
+            (4.0, 45.0),
+        ),
+        Finding::claim(
+            "a significant number of sizes use the slow fallback",
+            "Fig 20: many sizes untuned out of the box",
+            slow_points * 2 > series.len(),
+        ),
+    ];
+    ExperimentResult {
+        id: "fig20".into(),
+        title: "TVM OpenCL on ResNet-50 L14: untuned sizes spike (HiKey 970)".into(),
+        body: curve_text(&curve, 32),
+        findings,
+        csv: Some(curve.to_csv()),
+    }
+}

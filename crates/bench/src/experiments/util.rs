@@ -1,0 +1,97 @@
+//! Shared helpers for the experiment generators.
+
+use pruneperf_backends::ConvBackend;
+use pruneperf_core::Staircase;
+use pruneperf_gpusim::Device;
+use pruneperf_models::{resnet50, ConvLayerSpec};
+use pruneperf_profiler::{LatencyCurve, LayerProfiler};
+
+/// The paper's primary OpenCL board.
+pub fn hikey() -> Device {
+    Device::mali_g72_hikey970()
+}
+
+/// The paper's primary CUDA board.
+pub fn tx2() -> Device {
+    Device::jetson_tx2()
+}
+
+/// The second CUDA board.
+pub fn nano() -> Device {
+    Device::jetson_nano()
+}
+
+/// A ResNet-50 layer by label.
+pub fn resnet_layer(label: &str) -> ConvLayerSpec {
+    resnet50()
+        .layer(label)
+        .unwrap_or_else(|| panic!("catalog has {label}"))
+        .clone()
+}
+
+/// Sweeps a layer's full channel range on a device.
+pub fn sweep(device: &Device, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> LatencyCurve {
+    LayerProfiler::new(device).latency_curve(backend, layer, 1..=layer.c_out())
+}
+
+/// Renders a curve as a compact table: staircase steps plus sampled points.
+pub fn curve_text(curve: &LatencyCurve, sample_every: usize) -> String {
+    let staircase = Staircase::detect(curve);
+    let mut out = String::new();
+    out.push_str(&format!("{curve}\n"));
+    out.push_str(&curve.ascii_plot(84, 14));
+    out.push_str(&format!("{staircase}"));
+    out.push_str("sampled series (channels, ms):\n");
+    for (i, (c, ms)) in curve.series().iter().enumerate() {
+        if i % sample_every == 0 || i + 1 == curve.points().len() {
+            out.push_str(&format!("  {c:>5}  {ms:>9.3}\n"));
+        }
+    }
+    out
+}
+
+/// Median latency at one channel count via a fresh measurement.
+pub fn ms_at(
+    device: &Device,
+    backend: &dyn ConvBackend,
+    layer: &ConvLayerSpec,
+    channels: usize,
+) -> f64 {
+    let pruned = layer.with_c_out(channels).expect("valid channel count");
+    LayerProfiler::new(device)
+        .measure(backend, &pruned)
+        .median_ms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_backends::AclGemm;
+
+    #[test]
+    fn curve_text_contains_plot_steps_and_samples() {
+        let device = hikey();
+        let layer = resnet_layer("ResNet.L16").with_c_out(32).unwrap();
+        let curve = sweep(&device, &AclGemm::new(), &layer);
+        let text = curve_text(&curve, 8);
+        assert!(text.contains("step(s)"), "{text}");
+        assert!(text.contains("sampled series"), "{text}");
+        assert!(text.contains('*'), "{text}"); // the ASCII plot
+    }
+
+    #[test]
+    fn ms_at_matches_sweep() {
+        let device = tx2();
+        let layer = resnet_layer("ResNet.L16");
+        let backend = pruneperf_backends::Cudnn::new();
+        let curve = sweep(&device, &backend, &layer);
+        let direct = ms_at(&device, &backend, &layer, 96);
+        assert_eq!(curve.ms_at(96), Some(direct));
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog has")]
+    fn unknown_layer_panics() {
+        let _ = resnet_layer("ResNet.L999");
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section and reports paper-vs-measured findings.
+//!
+//! Each experiment is a pure function from the (deterministic) simulator
+//! stack to an [`ExperimentResult`]: a human-readable body plus a list of
+//! [`Finding`]s comparing a measured quantity against the value or band the
+//! paper reports. The `repro` binary runs them from the command line:
+//!
+//! ```text
+//! cargo run -p pruneperf-bench --bin repro -- list
+//! cargo run -p pruneperf-bench --bin repro -- fig14 table1
+//! cargo run -p pruneperf-bench --bin repro -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{all_ids, run, ExperimentResult, Finding};

@@ -1,0 +1,64 @@
+/// Extracts the Pareto front of `(latency_ms, accuracy)` candidates:
+/// members for which no other candidate is both faster-or-equal and
+/// more-accurate-or-equal (with at least one strict). Ties are kept once.
+///
+/// The returned indices are sorted by increasing latency. Used by the
+/// pruning loop to present the latency/accuracy trade-off of §V.
+pub fn pareto_front(candidates: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    // Sort by latency ascending, accuracy descending for equal latency.
+    order.sort_by(|&a, &b| {
+        candidates[a]
+            .0
+            .total_cmp(&candidates[b].0)
+            .then(candidates[b].1.total_cmp(&candidates[a].1))
+    });
+    let mut front = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    let mut last_lat = f64::NEG_INFINITY;
+    for i in order {
+        let (lat, acc) = candidates[i];
+        if acc > best_acc {
+            // Drop duplicates at identical (lat, acc).
+            if !(lat == last_lat && acc == best_acc) {
+                front.push(i);
+            }
+            best_acc = acc;
+            last_lat = lat;
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        // (latency, accuracy): candidate 1 dominates candidate 2.
+        let cands = [(10.0, 0.7), (8.0, 0.75), (9.0, 0.72), (12.0, 0.8)];
+        let front = pareto_front(&cands);
+        assert_eq!(front, vec![1, 3]);
+    }
+
+    #[test]
+    fn all_nondominated_kept_in_latency_order() {
+        let cands = [(3.0, 0.5), (1.0, 0.3), (2.0, 0.4)];
+        let front = pareto_front(&cands);
+        assert_eq!(front, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn equal_latency_keeps_more_accurate() {
+        let cands = [(5.0, 0.6), (5.0, 0.9)];
+        let front = pareto_front(&cands);
+        assert_eq!(front, vec![1]);
+    }
+}

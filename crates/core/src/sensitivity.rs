@@ -1,0 +1,175 @@
+//! Per-layer sensitivity analysis: how latency and accuracy respond to
+//! pruning each layer in isolation.
+//!
+//! The classic first step of any pruning campaign — and, with the
+//! staircase in the loop, the place where the paper's warning materializes:
+//! two layers with identical accuracy sensitivity can have wildly different
+//! *latency* responses depending on where their step edges fall.
+
+use std::fmt;
+
+use pruneperf_backends::ConvBackend;
+use pruneperf_models::Network;
+use pruneperf_profiler::LayerProfiler;
+use serde::{Deserialize, Serialize};
+
+use crate::accuracy::AccuracyModel;
+
+/// One sampled operating point of a layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Channels kept.
+    pub kept: usize,
+    /// Layer latency at this count, ms.
+    pub ms: f64,
+    /// Network accuracy when only this layer is pruned to `kept`.
+    pub accuracy: f64,
+}
+
+/// A layer's sensitivity profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSensitivity {
+    /// Layer label.
+    pub label: String,
+    /// Sampled points, descending kept-channel order.
+    pub points: Vec<SensitivityPoint>,
+}
+
+impl LayerSensitivity {
+    /// The largest latency speedup available at an accuracy loss of at most
+    /// `max_loss` (absolute), relative to the unpruned point.
+    pub fn best_speedup_within_loss(&self, max_loss: f64) -> f64 {
+        let full = &self.points[0];
+        self.points
+            .iter()
+            .filter(|p| full.accuracy - p.accuracy <= max_loss)
+            .map(|p| full.ms / p.ms)
+            .fold(1.0, f64::max)
+    }
+}
+
+impl fmt::Display for LayerSensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.label)?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  keep {:>5}  {:>9.3} ms  acc {:.4}",
+                p.kept, p.ms, p.accuracy
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Samples every layer of `network` at the given keep fractions.
+///
+/// Fractions are clamped to valid channel counts; the unpruned point is
+/// always included first.
+pub fn sensitivity_analysis(
+    profiler: &LayerProfiler,
+    accuracy: &AccuracyModel,
+    backend: &dyn ConvBackend,
+    network: &Network,
+    keep_fractions: &[f64],
+) -> Vec<LayerSensitivity> {
+    network
+        .layers()
+        .iter()
+        .map(|layer| {
+            let mut counts: Vec<usize> = vec![layer.c_out()];
+            for &f in keep_fractions {
+                let c = ((layer.c_out() as f64 * f).round() as usize).clamp(1, layer.c_out());
+                if !counts.contains(&c) {
+                    counts.push(c);
+                }
+            }
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let points = counts
+                .into_iter()
+                .filter_map(|c| {
+                    let pruned = layer.with_c_out(c).ok()?;
+                    Some(SensitivityPoint {
+                        kept: c,
+                        ms: profiler.measure(backend, &pruned).median_ms(),
+                        accuracy: accuracy.accuracy_with_layer(layer.label(), c),
+                    })
+                })
+                .collect();
+            LayerSensitivity {
+                label: layer.label().to_string(),
+                points,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_backends::Cudnn;
+    use pruneperf_gpusim::Device;
+    use pruneperf_models::alexnet;
+
+    fn analysis() -> Vec<LayerSensitivity> {
+        let d = Device::jetson_tx2();
+        let p = LayerProfiler::noiseless(&d);
+        let net = alexnet();
+        let acc = AccuracyModel::for_network(&net);
+        sensitivity_analysis(&p, &acc, &Cudnn::new(), &net, &[0.75, 0.5, 0.25])
+    }
+
+    #[test]
+    fn one_profile_per_layer_with_unpruned_first() {
+        let s = analysis();
+        assert_eq!(s.len(), 5);
+        for layer in &s {
+            assert!(layer.points.len() >= 3, "{}", layer.label);
+            // Descending kept order; first point is unpruned.
+            assert!(layer.points.windows(2).all(|w| w[0].kept > w[1].kept));
+        }
+        assert_eq!(s[0].points[0].kept, 64);
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_kept() {
+        for layer in analysis() {
+            for w in layer.points.windows(2) {
+                assert!(
+                    w[0].accuracy >= w[1].accuracy,
+                    "{}: accuracy not monotone",
+                    layer.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_speedup_within_zero_loss_is_at_least_one() {
+        for layer in analysis() {
+            let s = layer.best_speedup_within_loss(0.0);
+            assert!(s >= 1.0, "{}: {s}", layer.label);
+            // Allowing more loss never reduces the achievable speedup.
+            assert!(layer.best_speedup_within_loss(0.05) >= s);
+        }
+    }
+
+    #[test]
+    fn display_lists_points() {
+        let s = analysis();
+        let text = s[0].to_string();
+        assert!(text.contains("keep"), "{text}");
+        assert!(text.contains("acc"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_fractions_are_deduped() {
+        let d = Device::jetson_tx2();
+        let p = LayerProfiler::noiseless(&d);
+        let net = alexnet();
+        let acc = AccuracyModel::for_network(&net);
+        let s = sensitivity_analysis(&p, &acc, &Cudnn::new(), &net, &[1.0, 1.0, 0.5, 0.5]);
+        // 1.0 duplicates the unpruned point; 0.5 sampled once.
+        assert_eq!(s[0].points.len(), 2);
+    }
+}

@@ -1,0 +1,307 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pruneperf_profiler::LatencyCurve;
+
+/// Relative tolerance when grouping points into a step and when deciding
+/// Pareto dominance — sized to ride over the profiler's ~2% jitter.
+const LEVEL_TOL: f64 = 0.05;
+
+/// One flat segment of the latency staircase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// First channel count of the step (inclusive).
+    pub from_channels: usize,
+    /// Last channel count of the step (inclusive).
+    pub to_channels: usize,
+    /// Mean latency of the step's points in ms.
+    pub level_ms: f64,
+}
+
+impl Step {
+    /// Number of channel counts on the step.
+    pub fn width(&self) -> usize {
+        self.to_channels - self.from_channels + 1
+    }
+}
+
+/// A channel count worth pruning to: no larger profiled count runs at the
+/// same (or lower) latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimalPoint {
+    /// The channel count.
+    pub channels: usize,
+    /// Median latency at that count, ms.
+    pub ms: f64,
+}
+
+/// Staircase analysis of a latency curve (§II-B).
+///
+/// Two views of the same data:
+///
+/// * [`Staircase::steps`] — consecutive points grouped into flat levels
+///   (the visual staircase of Figs 2, 4, 5);
+/// * [`Staircase::optimal_points`] — the *right edges*: channel counts `c`
+///   such that no `c' > c` is as fast (within tolerance). For simple
+///   staircases these are literally the right end of each step; for ACL's
+///   two parallel staircases (Fig 14) they are the right edges of the fast
+///   staircase's steps only, which is exactly the set a performance-aware
+///   pruner should target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Staircase {
+    steps: Vec<Step>,
+    optimal: Vec<OptimalPoint>,
+}
+
+impl Staircase {
+    /// Analyzes a profiled curve.
+    pub fn detect(curve: &LatencyCurve) -> Self {
+        Staircase {
+            steps: detect_steps(curve),
+            optimal: detect_optimal(curve),
+        }
+    }
+
+    /// The flat segments in increasing channel order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Pruning candidates: right edges of the latency-Pareto front, in
+    /// increasing channel order.
+    pub fn optimal_points(&self) -> &[OptimalPoint] {
+        &self.optimal
+    }
+
+    /// The optimal point with the most channels that still meets a latency
+    /// budget — the “best trade-off between accuracy and inference time”
+    /// pick of §IV-A1.
+    pub fn best_within_budget(&self, budget_ms: f64) -> Option<OptimalPoint> {
+        self.optimal
+            .iter()
+            .rev()
+            .find(|p| p.ms <= budget_ms)
+            .copied()
+    }
+
+    /// Largest ratio between adjacent steps' levels (the “uneven gaps”
+    /// observation on Fig 5).
+    pub fn max_step_gap(&self) -> Option<f64> {
+        self.steps
+            .windows(2)
+            .map(|w| {
+                let (a, b) = (w[0].level_ms, w[1].level_ms);
+                if a > b {
+                    a / b
+                } else {
+                    b / a
+                }
+            })
+            .max_by(f64::total_cmp)
+    }
+}
+
+impl fmt::Display for Staircase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} step(s), {} optimal point(s)",
+            self.steps.len(),
+            self.optimal.len()
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  [{:>4}..{:>4}] {:>9.3} ms",
+                s.from_channels, s.to_channels, s.level_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Groups consecutive points whose latency stays within `LEVEL_TOL` of the
+/// running step mean.
+fn detect_steps(curve: &LatencyCurve) -> Vec<Step> {
+    let mut steps: Vec<Step> = Vec::new();
+    let mut members: Vec<f64> = Vec::new();
+    let mut from = 0usize;
+    let mut prev_c = 0usize;
+    for p in curve.points() {
+        let ms = p.measurement.median_ms();
+        if members.is_empty() {
+            members.push(ms);
+            from = p.channels;
+            prev_c = p.channels;
+            continue;
+        }
+        let mean: f64 = members.iter().sum::<f64>() / members.len() as f64;
+        if (ms - mean).abs() / mean <= LEVEL_TOL {
+            members.push(ms);
+            prev_c = p.channels;
+        } else {
+            steps.push(Step {
+                from_channels: from,
+                to_channels: prev_c,
+                level_ms: mean,
+            });
+            members.clear();
+            members.push(ms);
+            from = p.channels;
+            prev_c = p.channels;
+        }
+    }
+    if !members.is_empty() {
+        steps.push(Step {
+            from_channels: from,
+            to_channels: prev_c,
+            level_ms: members.iter().sum::<f64>() / members.len() as f64,
+        });
+    }
+    steps
+}
+
+/// Right edges of the latency-Pareto front: `c` is optimal when every
+/// profiled `c' > c` is slower than `t(c) * (1 + LEVEL_TOL)`.
+fn detect_optimal(curve: &LatencyCurve) -> Vec<OptimalPoint> {
+    let series = curve.series();
+    let mut optimal = Vec::new();
+    let mut best_suffix_ms = f64::INFINITY;
+    for &(c, ms) in series.iter().rev() {
+        if ms * (1.0 + LEVEL_TOL) < best_suffix_ms {
+            optimal.push(OptimalPoint { channels: c, ms });
+            best_suffix_ms = ms;
+        }
+    }
+    optimal.reverse();
+    optimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_profiler::{CurvePoint, Measurement};
+
+    fn curve_from(series: &[(usize, f64)]) -> LatencyCurve {
+        LatencyCurve::new(
+            "test",
+            "test",
+            "test",
+            series
+                .iter()
+                .map(|&(c, ms)| CurvePoint {
+                    channels: c,
+                    measurement: Measurement::from_runs(vec![ms]),
+                })
+                .collect(),
+        )
+    }
+
+    /// A clean cuDNN-style staircase: three flat levels.
+    fn cudnn_style() -> LatencyCurve {
+        let mut series = Vec::new();
+        for c in 1..=96usize {
+            let ms = match c {
+                1..=32 => 3.0,
+                33..=64 => 5.0,
+                _ => 8.0,
+            };
+            series.push((c, ms));
+        }
+        curve_from(&series)
+    }
+
+    /// ACL-style two parallel staircases: alternating 4-groups.
+    fn acl_style() -> LatencyCurve {
+        let series: Vec<(usize, f64)> = (1..=64usize)
+            .map(|c| {
+                let c4 = c.div_ceil(4) * 4;
+                let base = 4.0 + (c4.div_ceil(16) as f64) * 2.0; // fast staircase
+                let ms = if c4 % 8 == 0 { base } else { base + 6.0 };
+                (c, ms)
+            })
+            .collect();
+        curve_from(&series)
+    }
+
+    #[test]
+    fn detects_three_flat_steps() {
+        let s = Staircase::detect(&cudnn_style());
+        assert_eq!(s.steps().len(), 3);
+        assert_eq!(s.steps()[0].from_channels, 1);
+        assert_eq!(s.steps()[0].to_channels, 32);
+        assert_eq!(s.steps()[2].to_channels, 96);
+        assert!((s.steps()[1].level_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_points_are_right_edges() {
+        let s = Staircase::detect(&cudnn_style());
+        let channels: Vec<usize> = s.optimal_points().iter().map(|p| p.channels).collect();
+        assert_eq!(channels, [32, 64, 96]);
+    }
+
+    #[test]
+    fn parallel_staircases_keep_only_fast_edges() {
+        let s = Staircase::detect(&acl_style());
+        // Optimal points must all sit on the fast staircase (c4 % 8 == 0).
+        for p in s.optimal_points() {
+            let c4 = p.channels.div_ceil(4) * 4;
+            assert_eq!(c4 % 8, 0, "point {} is on the slow staircase", p.channels);
+        }
+        // The largest profiled fast count is optimal.
+        assert_eq!(s.optimal_points().last().unwrap().channels, 64);
+    }
+
+    #[test]
+    fn budget_selection_picks_most_channels() {
+        let s = Staircase::detect(&cudnn_style());
+        assert_eq!(s.best_within_budget(5.5).unwrap().channels, 64);
+        assert_eq!(s.best_within_budget(100.0).unwrap().channels, 96);
+        assert!(s.best_within_budget(1.0).is_none());
+    }
+
+    #[test]
+    fn max_step_gap_reports_uneven_stairs() {
+        let s = Staircase::detect(&cudnn_style());
+        // 5/3 vs 8/5: max gap is 5/3.
+        assert!((s.max_step_gap().unwrap() - 5.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerates_measurement_jitter() {
+        // 2% jitter on a two-level staircase must not fragment the steps.
+        let series: Vec<(usize, f64)> = (1..=40usize)
+            .map(|c| {
+                let base = if c <= 20 { 4.0 } else { 7.0 };
+                let wiggle = 1.0 + 0.02 * if c % 2 == 0 { 1.0 } else { -1.0 };
+                (c, base * wiggle)
+            })
+            .collect();
+        let s = Staircase::detect(&curve_from(&series));
+        assert_eq!(s.steps().len(), 2, "{s}");
+    }
+
+    #[test]
+    fn single_point_curve() {
+        let s = Staircase::detect(&curve_from(&[(64, 5.0)]));
+        assert_eq!(s.steps().len(), 1);
+        assert_eq!(s.optimal_points().len(), 1);
+        assert_eq!(s.max_step_gap(), None);
+    }
+
+    #[test]
+    fn monotone_noise_free_curve_is_all_optimal() {
+        // Strictly increasing latency: every point is a right edge.
+        let series: Vec<(usize, f64)> = (1..=10).map(|c| (c, c as f64 * 10.0)).collect();
+        let s = Staircase::detect(&curve_from(&series));
+        assert_eq!(s.optimal_points().len(), 10);
+    }
+
+    #[test]
+    fn display_renders_steps() {
+        let out = Staircase::detect(&cudnn_style()).to_string();
+        assert!(out.contains("3 step(s)"), "{out}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based invariants of the staircase analysis, Pareto utilities
+//! and heatmap construction.
+
+use proptest::prelude::*;
+use pruneperf_core::{pareto_front, Staircase};
+use pruneperf_profiler::{CurvePoint, LatencyCurve, Measurement};
+
+fn curve_strategy() -> impl Strategy<Value = LatencyCurve> {
+    proptest::collection::vec(0.1f64..100.0, 2..120).prop_map(|ms| {
+        let points = ms
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| CurvePoint {
+                channels: i + 1,
+                measurement: Measurement::from_runs(vec![v]),
+            })
+            .collect();
+        LatencyCurve::new("prop", "prop", "prop", points)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Steps partition the curve: contiguous, ordered, covering every point.
+    #[test]
+    fn steps_partition_the_curve(curve in curve_strategy()) {
+        let staircase = Staircase::detect(&curve);
+        let steps = staircase.steps();
+        prop_assert!(!steps.is_empty());
+        let (lo, hi) = curve.channel_range();
+        prop_assert_eq!(steps.first().unwrap().from_channels, lo);
+        prop_assert_eq!(steps.last().unwrap().to_channels, hi);
+        for w in steps.windows(2) {
+            prop_assert_eq!(w[0].to_channels + 1, w[1].from_channels);
+        }
+        for s in steps {
+            prop_assert!(s.from_channels <= s.to_channels);
+            prop_assert!(s.level_ms > 0.0);
+        }
+    }
+
+    /// Optimal points are a true Pareto set: strictly increasing channels
+    /// AND strictly decreasing-beyond-tolerance latency from right to left.
+    #[test]
+    fn optimal_points_are_pareto(curve in curve_strategy()) {
+        let staircase = Staircase::detect(&curve);
+        let pts = staircase.optimal_points();
+        prop_assert!(!pts.is_empty());
+        // The rightmost profiled point is always optimal.
+        prop_assert_eq!(pts.last().unwrap().channels, curve.channel_range().1);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].channels < w[1].channels);
+            // Earlier points must be meaningfully faster than later ones.
+            prop_assert!(w[0].ms < w[1].ms);
+        }
+        // No profiled point dominates an optimal point.
+        for p in pts {
+            for (c, ms) in curve.series() {
+                if c > p.channels {
+                    prop_assert!(
+                        ms * 1.05 >= p.ms,
+                        "({c}, {ms}) dominates optimal ({}, {})",
+                        p.channels,
+                        p.ms
+                    );
+                }
+            }
+        }
+    }
+
+    /// best_within_budget returns the most channels meeting the budget.
+    #[test]
+    fn budget_selection_is_maximal(curve in curve_strategy(), budget in 0.05f64..120.0) {
+        let staircase = Staircase::detect(&curve);
+        match staircase.best_within_budget(budget) {
+            Some(best) => {
+                prop_assert!(best.ms <= budget);
+                for p in staircase.optimal_points() {
+                    if p.ms <= budget {
+                        prop_assert!(p.channels <= best.channels);
+                    }
+                }
+            }
+            None => {
+                for p in staircase.optimal_points() {
+                    prop_assert!(p.ms > budget);
+                }
+            }
+        }
+    }
+
+    /// The Pareto front utility returns exactly the non-dominated set.
+    #[test]
+    fn pareto_front_is_exact(
+        cands in proptest::collection::vec((0.1f64..100.0, 0.0f64..1.0), 0..40)
+    ) {
+        let front = pareto_front(&cands);
+        // Everything on the front is non-dominated.
+        for &i in &front {
+            for (j, &(lat, acc)) in cands.iter().enumerate() {
+                if i == j { continue; }
+                let (fl, fa) = cands[i];
+                let dominates = lat <= fl && acc >= fa && (lat < fl || acc > fa);
+                prop_assert!(!dominates, "candidate {j} dominates front member {i}");
+            }
+        }
+        // Everything off the front is dominated or a duplicate.
+        for (j, &(lat, acc)) in cands.iter().enumerate() {
+            if front.contains(&j) { continue; }
+            let covered = cands.iter().enumerate().any(|(i, &(l, a))| {
+                i != j && l <= lat && a >= acc
+            });
+            prop_assert!(covered, "candidate {j} ({lat}, {acc}) missing from front");
+        }
+        // Front is sorted by latency.
+        for w in front.windows(2) {
+            prop_assert!(cands[w[0]].0 <= cands[w[1]].0);
+        }
+    }
+}

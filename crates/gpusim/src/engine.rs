@@ -1,0 +1,446 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{ChainReport, Device, JobChain, KernelDesc, KernelReport, SystemCounters};
+
+/// Executes job chains on a [`Device`] and produces timing plus counters.
+///
+/// # Timing model
+///
+/// Execution is workgroup-granular. For each kernel the engine derives a
+/// per-workgroup cycle cost from the kernel's instruction mix, then an
+/// event-driven scheduler assigns workgroups to the earliest-available core;
+/// the kernel's GPU time is the makespan. The per-workgroup cost combines:
+///
+/// * **compute**: `warps × arith_per_item / pipes / exec_efficiency`, where
+///   `pipes = lanes_per_core / warp_width` — warp-quantized SIMT issue;
+/// * **memory bandwidth**: DRAM traffic after cache filtering, divided by
+///   the core's fair bandwidth share and the coalescing efficiency;
+/// * **exposed latency**: each memory instruction pays
+///   `latency × (1 − hiding)` with hiding proportional to resident warps —
+///   small dispatches cannot hide latency, which is what makes the split
+///   remainder GEMM of §IV-B1 so much slower than its size suggests;
+/// * a fixed per-workgroup launch overhead.
+///
+/// Job overheads (dispatch, separate submission) are CPU-side and serialize
+/// with GPU execution, matching the paper's observation that “additional job
+/// creation and dispatch … adds to the initialization cost on the GPU”.
+#[derive(Debug, Clone)]
+pub struct Engine<'d> {
+    device: &'d Device,
+}
+
+impl<'d> Engine<'d> {
+    /// Creates an engine bound to a device.
+    pub fn new(device: &'d Device) -> Self {
+        Engine { device }
+    }
+
+    /// The device this engine simulates.
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// Cycles one workgroup of `kernel` takes on this device.
+    fn workgroup_cycles(&self, kernel: &KernelDesc) -> f64 {
+        let d = self.device;
+        let wg_size = kernel.workgroup_size();
+        let warps = wg_size.div_ceil(d.warp_width());
+        let pipes = (d.lanes_per_core() / d.warp_width()).max(1);
+
+        // SIMT compute issue.
+        let compute =
+            warps as f64 * kernel.arith_per_item() as f64 / pipes as f64 / kernel.exec_efficiency();
+
+        // DRAM bandwidth demand after cache filtering.
+        let bytes = wg_size as f64
+            * kernel.mem_per_item() as f64
+            * kernel.bytes_per_mem() as f64
+            * (1.0 - kernel.cache_hit());
+        let active_cores = d.cores().min(kernel.workgroup_count().max(1));
+        let share = d.dram_bytes_per_cycle() / active_cores as f64;
+        let mem = bytes / share / kernel.coalescing();
+
+        // Exposed memory latency under partial occupancy: a core can hold
+        // workgroups up to its resident-thread budget, but never more than
+        // its share of the dispatch.
+        let occupancy_cap = (d.max_resident_threads() / wg_size).max(1);
+        let resident_wgs = occupancy_cap.min(kernel.workgroup_count().div_ceil(d.cores()).max(1));
+        let resident_warps = (warps * resident_wgs).max(1);
+        let hiding = (resident_warps as f64 / d.latency_hiding_warps() as f64).min(1.0);
+        let mem_warp_instrs = warps as f64 * kernel.mem_per_item() as f64;
+        let stall = mem_warp_instrs * d.mem_latency_cycles() as f64 * (1.0 - hiding)
+            / resident_warps as f64;
+
+        compute.max(mem) + stall + d.wg_launch_cycles() as f64
+    }
+
+    /// GPU cycles for a whole kernel: greedy assignment of workgroups to
+    /// the earliest-available core (list scheduling). All workgroups of one
+    /// kernel cost the same, so the earliest-available-core schedule has a
+    /// closed-form makespan: `ceil(workgroups / cores)` waves — exactly the
+    /// wave quantization behind the cuDNN staircase steps.
+    fn kernel_cycles(&self, kernel: &KernelDesc) -> f64 {
+        let wg_cycles = self.workgroup_cycles(kernel);
+        let waves = kernel.workgroup_count().div_ceil(self.device.cores());
+        wg_cycles * waves as f64
+    }
+
+    /// Event-driven list scheduling for *heterogeneous* workgroup costs:
+    /// assigns each cost to the earliest-available core and returns the
+    /// makespan in cycles. Exposed for extensions (asymmetric core
+    /// clusters, fused multi-kernel dispatches); for uniform costs it
+    /// matches [`Engine::kernel_time_us`]'s wave formula exactly.
+    pub fn makespan_cycles(&self, wg_costs: &[f64]) -> f64 {
+        let cores = self.device.cores();
+        let mut heap: BinaryHeap<Reverse<u64>> = (0..cores).map(|_| Reverse(0u64)).collect();
+        // Work in integer milli-cycles to keep the heap ordering total.
+        for &cost in wg_costs {
+            let step = (cost * 1024.0).round() as u64;
+            let Reverse(t) = heap.pop().expect("cores is non-zero");
+            heap.push(Reverse(t + step));
+        }
+        heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0) as f64 / 1024.0
+    }
+
+    /// Runs one kernel in isolation and reports its GPU time in µs
+    /// (no job-dispatch overhead).
+    pub fn kernel_time_us(&self, kernel: &KernelDesc) -> f64 {
+        self.kernel_cycles(kernel) / self.device.clock_mhz() as f64
+    }
+
+    /// Executes a chain of dependent jobs and reports the full timeline,
+    /// instruction counts and system-level counters.
+    pub fn run_chain(&self, chain: &JobChain) -> ChainReport {
+        let d = self.device;
+        let mut now_us = 0.0f64;
+        let mut kernels = Vec::with_capacity(chain.len());
+        let mut counters = SystemCounters::default();
+        let mut dispatch_energy_uj = 0.0f64;
+        if !chain.is_empty() {
+            counters.submissions = 1;
+        }
+        for job in chain.jobs() {
+            let kernel = job.kernel();
+            let mut overhead = d.job_dispatch_us();
+            if job.needs_own_submission() {
+                overhead += d.job_sync_us();
+                counters.submissions += 1;
+            }
+            let gpu_us = self.kernel_time_us(kernel);
+            let start = now_us;
+            now_us += overhead + gpu_us;
+            // Energy: ops + DRAM traffic + CPU time spent dispatching.
+            // (mW * µs = nJ; / 1000 -> µJ. pJ * count / 1e6 -> µJ.)
+            dispatch_energy_uj += d.dispatch_mw() * overhead / 1e6;
+            let dram_bytes = kernel.total_mem() as f64
+                * kernel.bytes_per_mem() as f64
+                * (1.0 - kernel.cache_hit());
+            let energy_uj = (kernel.total_arith() as f64 * d.pj_per_op()
+                + dram_bytes * d.pj_per_dram_byte())
+                / 1e6;
+            counters.jobs += 1;
+            counters.interrupts += 1;
+            counters.ctrl_reg_writes += d.ctrl_writes_per_job();
+            counters.ctrl_reg_reads += d.ctrl_reads_per_job();
+            kernels.push(KernelReport {
+                name: kernel.name().to_string(),
+                start_us: start,
+                end_us: now_us,
+                gpu_cycles: (gpu_us * d.clock_mhz() as f64).round() as u64,
+                arith_instructions: kernel.total_arith(),
+                mem_instructions: kernel.total_mem(),
+                workgroups: kernel.workgroup_count(),
+                footprint_bytes: kernel.footprint_bytes(),
+                energy_uj,
+            });
+        }
+        ChainReport::new(kernels, counters, now_us, dispatch_energy_uj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Job;
+
+    fn device() -> Device {
+        Device::mali_g72_hikey970()
+    }
+
+    fn compute_kernel(items: usize, arith: u64) -> KernelDesc {
+        KernelDesc::builder("compute")
+            .global([items, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(arith)
+            .build()
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let d = device();
+        let e = Engine::new(&d);
+        let small = e.kernel_time_us(&compute_kernel(4096, 50_000));
+        let large = e.kernel_time_us(&compute_kernel(4096, 100_000));
+        assert!(large > small * 1.8, "large {large} small {small}");
+    }
+
+    #[test]
+    fn wave_quantization_steps() {
+        // 12-core device: 12 workgroups and 13 workgroups differ by a full
+        // wave; 13..24 workgroups all cost the same.
+        let d = device();
+        let e = Engine::new(&d);
+        let k12 = KernelDesc::builder("k")
+            .global([48, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(10_000)
+            .build();
+        let k13 = KernelDesc::builder("k")
+            .global([52, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(10_000)
+            .build();
+        let k24 = KernelDesc::builder("k")
+            .global([96, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(10_000)
+            .build();
+        let t12 = e.kernel_time_us(&k12);
+        let t13 = e.kernel_time_us(&k13);
+        let t24 = e.kernel_time_us(&k24);
+        assert!(t13 > t12 * 1.5, "t13 {t13} vs t12 {t12}");
+        assert!((t24 - t13).abs() < t13 * 0.01, "t24 {t24} vs t13 {t13}");
+    }
+
+    #[test]
+    fn poor_exec_efficiency_slows_compute_kernels() {
+        let d = device();
+        let e = Engine::new(&d);
+        let fast = KernelDesc::builder("k")
+            .global([4096, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(100_000)
+            .exec_efficiency(1.0)
+            .build();
+        let slow = KernelDesc::builder("k")
+            .global([4096, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(100_000)
+            .exec_efficiency(0.5)
+            .build();
+        let tf = e.kernel_time_us(&fast);
+        let ts = e.kernel_time_us(&slow);
+        assert!((ts / tf - 2.0).abs() < 0.2, "ratio {}", ts / tf);
+    }
+
+    #[test]
+    fn small_dispatches_expose_memory_latency() {
+        // Same total work split into many small vs few large workgroups:
+        // identical instruction counts, but the tiny dispatch hides less
+        // latency per resident warp.
+        let d = device();
+        let e = Engine::new(&d);
+        let tiny = KernelDesc::builder("k")
+            .global([48, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(100)
+            .mem_per_item(50)
+            .build();
+        let cozy = KernelDesc::builder("k")
+            .global([48, 1, 1])
+            .local([16, 1, 1])
+            .arith_per_item(100)
+            .mem_per_item(50)
+            .build();
+        // Per-item cost identical; tiny has 12 wgs of 1 warp, cozy 3 wgs of
+        // 4 warps. Residency: tiny 1 wg/core resident => 1 warp; cozy 1 wg
+        // of 4 warps => more hiding.
+        let t_tiny = e.kernel_time_us(&tiny) * tiny.workgroup_count() as f64;
+        let t_cozy = e.kernel_time_us(&cozy) * cozy.workgroup_count() as f64;
+        // Compare per-workgroup stall contribution indirectly.
+        assert!(t_tiny > t_cozy, "tiny {t_tiny} cozy {t_cozy}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_track_bandwidth() {
+        let d = device();
+        let e = Engine::new(&d);
+        let k = KernelDesc::builder("memcpyish")
+            .global([1 << 16, 1, 1])
+            .local([64, 1, 1])
+            .mem_per_item(64)
+            .bytes_per_mem(4)
+            .build();
+        let t_us = e.kernel_time_us(&k);
+        let bytes = (1u64 << 16) * 64 * 4;
+        let ideal_us = bytes as f64 / (d.dram_gbs() * 1e3); // GB/s -> bytes/µs
+        assert!(t_us >= ideal_us, "t {t_us} ideal {ideal_us}");
+        assert!(t_us < ideal_us * 4.0, "t {t_us} ideal {ideal_us}");
+    }
+
+    #[test]
+    fn chain_accumulates_counters_and_time() {
+        let d = device();
+        let e = Engine::new(&d);
+        let mut chain =
+            JobChain::from_kernels(vec![compute_kernel(1024, 100), compute_kernel(1024, 100)]);
+        chain.push(Job::with_own_submission(compute_kernel(64, 10)));
+        let r = e.run_chain(&chain);
+        assert_eq!(r.counters().jobs, 3);
+        assert_eq!(r.counters().interrupts, 3);
+        assert_eq!(r.counters().submissions, 2);
+        assert_eq!(r.counters().ctrl_reg_writes, 3 * d.ctrl_writes_per_job());
+        // Separate submission adds the sync penalty.
+        assert!(r.total_time_us() > d.job_sync_us());
+        // Timeline is contiguous and ordered.
+        let ks = r.kernels();
+        assert_eq!(ks.len(), 3);
+        assert!(ks.windows(2).all(|w| w[0].end_us <= w[1].start_us + 1e-9));
+    }
+
+    #[test]
+    fn instruction_counts_flow_through_reports() {
+        let d = device();
+        let e = Engine::new(&d);
+        let k = compute_kernel(1024, 7);
+        let r = e.run_chain(&JobChain::from_kernels(vec![k.clone()]));
+        assert_eq!(r.kernels()[0].arith_instructions, k.total_arith());
+        assert_eq!(r.total_arith(), 1024 * 7);
+    }
+
+    #[test]
+    fn determinism() {
+        let d = device();
+        let e = Engine::new(&d);
+        let chain = JobChain::from_kernels(vec![compute_kernel(4096, 123)]);
+        let a = e.run_chain(&chain);
+        let b = e.run_chain(&chain);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_chain_is_free() {
+        let d = device();
+        let r = Engine::new(&d).run_chain(&JobChain::new());
+        assert_eq!(r.total_time_us(), 0.0);
+        assert_eq!(r.counters().jobs, 0);
+        assert_eq!(r.counters().submissions, 0);
+    }
+
+    #[test]
+    fn faster_device_is_faster() {
+        let tx2 = Device::jetson_tx2();
+        let nano = Device::jetson_nano();
+        let k = KernelDesc::builder("k")
+            .global([1 << 14, 1, 1])
+            .local([32, 1, 1])
+            .arith_per_item(500)
+            .build();
+        let t_tx2 = Engine::new(&tx2).kernel_time_us(&k);
+        let t_nano = Engine::new(&nano).kernel_time_us(&k);
+        assert!(t_nano > t_tx2 * 1.5, "nano {t_nano} tx2 {t_tx2}");
+    }
+}
+
+#[cfg(test)]
+mod makespan_tests {
+    use super::*;
+
+    #[test]
+    fn list_scheduler_matches_wave_formula_for_uniform_costs() {
+        let d = Device::mali_g72_hikey970();
+        let e = Engine::new(&d);
+        let costs = vec![100.0; 25]; // 25 workgroups on 12 cores -> 3 waves
+        let makespan = e.makespan_cycles(&costs);
+        assert!((makespan - 300.0).abs() < 0.01, "{makespan}");
+    }
+
+    #[test]
+    fn list_scheduler_balances_heterogeneous_costs() {
+        let d = Device::jetson_tx2(); // 2 cores
+        let e = Engine::new(&d);
+        // One big workgroup and three small: optimal split 100 | 30+30+30.
+        let makespan = e.makespan_cycles(&[100.0, 30.0, 30.0, 30.0]);
+        assert!((makespan - 100.0).abs() < 0.01, "{makespan}");
+        // Greedy earliest-available: big lands on core 0, smalls fill core 1.
+        let makespan2 = e.makespan_cycles(&[30.0, 30.0, 100.0, 30.0]);
+        assert!(makespan2 <= 130.0 + 0.01, "{makespan2}");
+    }
+
+    #[test]
+    fn empty_cost_list_is_zero() {
+        let d = Device::jetson_nano();
+        assert_eq!(Engine::new(&d).makespan_cycles(&[]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod energy_tests {
+    use super::*;
+    use crate::Job;
+
+    fn kernel(arith: u64, mem: u64) -> KernelDesc {
+        KernelDesc::builder("k")
+            .global([1024, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(arith)
+            .mem_per_item(mem)
+            .build()
+    }
+
+    #[test]
+    fn energy_scales_with_arithmetic() {
+        let d = Device::mali_g72_hikey970();
+        let e = Engine::new(&d);
+        let small = e.run_chain(&JobChain::from_kernels(vec![kernel(100, 0)]));
+        let large = e.run_chain(&JobChain::from_kernels(vec![kernel(200, 0)]));
+        let small_kernel_uj = small.kernels()[0].energy_uj;
+        let large_kernel_uj = large.kernels()[0].energy_uj;
+        assert!((large_kernel_uj / small_kernel_uj - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_hits_save_dram_energy() {
+        let d = Device::jetson_tx2();
+        let e = Engine::new(&d);
+        let cold = KernelDesc::builder("k")
+            .global([1024, 1, 1])
+            .local([32, 1, 1])
+            .mem_per_item(100)
+            .cache_hit(0.0)
+            .build();
+        let warm = KernelDesc::builder("k")
+            .global([1024, 1, 1])
+            .local([32, 1, 1])
+            .mem_per_item(100)
+            .cache_hit(0.9)
+            .build();
+        let cold_uj = e.run_chain(&JobChain::from_kernels(vec![cold])).kernels()[0].energy_uj;
+        let warm_uj = e.run_chain(&JobChain::from_kernels(vec![warm])).kernels()[0].energy_uj;
+        assert!(cold_uj > warm_uj * 5.0, "cold {cold_uj} warm {warm_uj}");
+    }
+
+    #[test]
+    fn separate_submissions_cost_dispatch_energy() {
+        let d = Device::mali_g72_hikey970();
+        let e = Engine::new(&d);
+        let plain = e.run_chain(&JobChain::from_kernels(vec![kernel(10, 0)]));
+        let mut chain = JobChain::new();
+        chain.push(Job::with_own_submission(kernel(10, 0)));
+        let synced = e.run_chain(&chain);
+        assert!(synced.dispatch_energy_uj() > plain.dispatch_energy_uj() * 2.0);
+        assert!(synced.total_energy_mj() > plain.total_energy_mj());
+    }
+
+    #[test]
+    fn energy_is_deterministic_and_positive() {
+        let d = Device::jetson_nano();
+        let e = Engine::new(&d);
+        let chain = JobChain::from_kernels(vec![kernel(50, 5)]);
+        let a = e.run_chain(&chain).total_energy_mj();
+        let b = e.run_chain(&chain).total_energy_mj();
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+}

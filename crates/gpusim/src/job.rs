@@ -1,0 +1,153 @@
+use serde::{Deserialize, Serialize};
+
+use crate::KernelDesc;
+
+/// One unit of work the job manager dispatches to the GPU.
+///
+/// On Mali, every OpenCL kernel enqueue becomes (at least) one job; the
+/// paper's §IV-B1 finding is that for some channel counts the runtime
+/// *splits* one logical GEMM into two jobs, and the extra dispatch +
+/// synchronization outweighs the saved arithmetic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    kernel: KernelDesc,
+    needs_own_submission: bool,
+}
+
+impl Job {
+    /// A job dispatched as part of the surrounding chain submission.
+    pub fn new(kernel: KernelDesc) -> Self {
+        Job {
+            kernel,
+            needs_own_submission: false,
+        }
+    }
+
+    /// A job that the driver must submit separately (paying
+    /// [`crate::Device::job_sync_us`] on top of the dispatch cost).
+    pub fn with_own_submission(kernel: KernelDesc) -> Self {
+        Job {
+            kernel,
+            needs_own_submission: true,
+        }
+    }
+
+    /// The kernel this job executes.
+    pub fn kernel(&self) -> &KernelDesc {
+        &self.kernel
+    }
+
+    /// Whether the job pays the separate-submission penalty.
+    pub fn needs_own_submission(&self) -> bool {
+        self.needs_own_submission
+    }
+}
+
+/// An ordered chain of dependent jobs (one convolutional layer's dispatch
+/// plan). Jobs execute sequentially — conv stages are data-dependent.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobChain {
+    jobs: Vec<Job>,
+}
+
+impl JobChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        JobChain::default()
+    }
+
+    /// Builds a chain of ordinary jobs from kernels.
+    pub fn from_kernels(kernels: Vec<KernelDesc>) -> Self {
+        JobChain {
+            jobs: kernels.into_iter().map(Job::new).collect(),
+        }
+    }
+
+    /// Appends a job.
+    pub fn push(&mut self, job: Job) {
+        self.jobs.push(job);
+    }
+
+    /// The jobs in dispatch order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if the chain contains no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Sum of executed arithmetic instructions across the chain.
+    pub fn total_arith(&self) -> u64 {
+        self.jobs.iter().map(|j| j.kernel().total_arith()).sum()
+    }
+
+    /// Sum of executed memory instructions across the chain.
+    pub fn total_mem(&self) -> u64 {
+        self.jobs.iter().map(|j| j.kernel().total_mem()).sum()
+    }
+}
+
+impl FromIterator<Job> for JobChain {
+    fn from_iter<T: IntoIterator<Item = Job>>(iter: T) -> Self {
+        JobChain {
+            jobs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Job> for JobChain {
+    fn extend<T: IntoIterator<Item = Job>>(&mut self, iter: T) {
+        self.jobs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(name: &str, arith: u64) -> KernelDesc {
+        KernelDesc::builder(name)
+            .global([8, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(arith)
+            .mem_per_item(1)
+            .build()
+    }
+
+    #[test]
+    fn chain_preserves_order() {
+        let c = JobChain::from_kernels(vec![kernel("a", 1), kernel("b", 2)]);
+        let names: Vec<&str> = c.jobs().iter().map(|j| j.kernel().name()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn totals_sum_over_jobs() {
+        let c = JobChain::from_kernels(vec![kernel("a", 3), kernel("b", 5)]);
+        assert_eq!(c.total_arith(), 8 * 3 + 8 * 5);
+        assert_eq!(c.total_mem(), 16);
+    }
+
+    #[test]
+    fn submission_flag_round_trips() {
+        assert!(!Job::new(kernel("a", 1)).needs_own_submission());
+        assert!(Job::with_own_submission(kernel("a", 1)).needs_own_submission());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut c: JobChain = vec![Job::new(kernel("a", 1))].into_iter().collect();
+        c.extend(vec![Job::new(kernel("b", 1))]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(JobChain::new().is_empty());
+    }
+}

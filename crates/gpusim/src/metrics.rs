@@ -1,0 +1,252 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-kernel execution report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name as dispatched.
+    pub name: String,
+    /// Start time within the chain, µs.
+    pub start_us: f64,
+    /// End time within the chain, µs.
+    pub end_us: f64,
+    /// GPU execution cycles (excludes dispatch overhead).
+    pub gpu_cycles: u64,
+    /// Scalar arithmetic instructions executed (Tables I–IV column 2).
+    pub arith_instructions: u64,
+    /// Memory instructions executed (Tables I–IV column 3).
+    pub mem_instructions: u64,
+    /// Workgroups dispatched.
+    pub workgroups: usize,
+    /// Device-memory footprint bound to the dispatch, bytes.
+    pub footprint_bytes: u64,
+    /// Estimated energy of the kernel's execution, microjoules.
+    pub energy_uj: f64,
+}
+
+impl KernelReport {
+    /// Kernel duration including its dispatch overhead, µs.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+impl fmt::Display for KernelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} us, {} arith, {} mem",
+            self.name,
+            self.duration_us(),
+            self.arith_instructions,
+            self.mem_instructions
+        )
+    }
+}
+
+/// System-level counters in the spirit of the paper's Fig 18 — the signals
+/// that expose the “bad split” of a GEMM into two jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SystemCounters {
+    /// Jobs dispatched to the GPU.
+    pub jobs: u64,
+    /// Control-register writes performed by the driver.
+    pub ctrl_reg_writes: u64,
+    /// Control-register reads performed by the driver.
+    pub ctrl_reg_reads: u64,
+    /// Completion interrupts raised by the GPU.
+    pub interrupts: u64,
+    /// Separate submissions (chain flushes) required.
+    pub submissions: u64,
+}
+
+impl SystemCounters {
+    /// Element-wise ratio against a baseline, for Fig 18-style relative
+    /// plots. Fields with a zero baseline report `None`.
+    pub fn relative_to(&self, base: &SystemCounters) -> RelativeCounters {
+        fn ratio(a: u64, b: u64) -> Option<f64> {
+            (b != 0).then(|| a as f64 / b as f64)
+        }
+        RelativeCounters {
+            jobs: ratio(self.jobs, base.jobs),
+            ctrl_reg_writes: ratio(self.ctrl_reg_writes, base.ctrl_reg_writes),
+            ctrl_reg_reads: ratio(self.ctrl_reg_reads, base.ctrl_reg_reads),
+            interrupts: ratio(self.interrupts, base.interrupts),
+        }
+    }
+}
+
+/// Ratios of [`SystemCounters`] against a baseline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RelativeCounters {
+    /// Jobs ratio.
+    pub jobs: Option<f64>,
+    /// Control-register write ratio.
+    pub ctrl_reg_writes: Option<f64>,
+    /// Control-register read ratio.
+    pub ctrl_reg_reads: Option<f64>,
+    /// Interrupt ratio.
+    pub interrupts: Option<f64>,
+}
+
+/// Execution report for a whole job chain (one convolutional layer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainReport {
+    kernels: Vec<KernelReport>,
+    counters: SystemCounters,
+    total_time_us: f64,
+    dispatch_energy_uj: f64,
+}
+
+impl ChainReport {
+    pub(crate) fn new(
+        kernels: Vec<KernelReport>,
+        counters: SystemCounters,
+        total_time_us: f64,
+        dispatch_energy_uj: f64,
+    ) -> Self {
+        ChainReport {
+            kernels,
+            counters,
+            total_time_us,
+            dispatch_energy_uj,
+        }
+    }
+
+    /// Per-kernel reports in execution order.
+    pub fn kernels(&self) -> &[KernelReport] {
+        &self.kernels
+    }
+
+    /// System-level counters for the chain.
+    pub fn counters(&self) -> &SystemCounters {
+        &self.counters
+    }
+
+    /// End-to-end chain latency in µs, including dispatch overheads.
+    pub fn total_time_us(&self) -> f64 {
+        self.total_time_us
+    }
+
+    /// End-to-end chain latency in milliseconds (the figures' unit).
+    pub fn total_time_ms(&self) -> f64 {
+        self.total_time_us / 1000.0
+    }
+
+    /// Total executed arithmetic instructions.
+    pub fn total_arith(&self) -> u64 {
+        self.kernels.iter().map(|k| k.arith_instructions).sum()
+    }
+
+    /// Total executed memory instructions.
+    pub fn total_mem(&self) -> u64 {
+        self.kernels.iter().map(|k| k.mem_instructions).sum()
+    }
+
+    /// CPU/driver energy spent dispatching the chain, microjoules.
+    pub fn dispatch_energy_uj(&self) -> f64 {
+        self.dispatch_energy_uj
+    }
+
+    /// Total energy of the chain (GPU kernels + dispatch), millijoules —
+    /// the paper's §I motivation is “FLOPS per watt”, and energy-aware
+    /// pruning is a natural extension of the latency loop.
+    pub fn total_energy_mj(&self) -> f64 {
+        (self.kernels.iter().map(|k| k.energy_uj).sum::<f64>() + self.dispatch_energy_uj) / 1000.0
+    }
+
+    /// Reports for kernels with the given name (e.g. both `gemm_mm` splits).
+    pub fn kernels_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a KernelReport> {
+        self.kernels.iter().filter(move |k| k.name == name)
+    }
+}
+
+impl fmt::Display for ChainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} kernels, {} jobs, {:.3} ms",
+            self.kernels.len(),
+            self.counters.jobs,
+            self.total_time_ms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, arith: u64) -> KernelReport {
+        KernelReport {
+            name: name.into(),
+            start_us: 0.0,
+            end_us: 10.0,
+            gpu_cycles: 100,
+            arith_instructions: arith,
+            mem_instructions: arith / 10,
+            workgroups: 4,
+            footprint_bytes: 1024,
+            energy_uj: 50.0,
+        }
+    }
+
+    #[test]
+    fn chain_totals() {
+        let c = ChainReport::new(
+            vec![
+                report("a", 100),
+                report("gemm_mm", 50),
+                report("gemm_mm", 20),
+            ],
+            SystemCounters {
+                jobs: 3,
+                ..Default::default()
+            },
+            30.0,
+            12.0,
+        );
+        assert_eq!(c.total_arith(), 170);
+        assert_eq!(c.total_mem(), 17);
+        assert_eq!(c.kernels_named("gemm_mm").count(), 2);
+        assert!((c.total_time_ms() - 0.03).abs() < 1e-12);
+        assert_eq!(c.dispatch_energy_uj(), 12.0);
+        assert!((c.total_energy_mj() - (150.0 + 12.0) / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_counters() {
+        let base = SystemCounters {
+            jobs: 3,
+            ctrl_reg_writes: 174,
+            ctrl_reg_reads: 93,
+            interrupts: 3,
+            submissions: 1,
+        };
+        let split = SystemCounters {
+            jobs: 4,
+            ctrl_reg_writes: 232,
+            ctrl_reg_reads: 124,
+            interrupts: 4,
+            submissions: 2,
+        };
+        let rel = split.relative_to(&base);
+        assert!((rel.jobs.unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        assert!(rel.ctrl_reg_writes.unwrap() > 1.0);
+        assert!(rel.interrupts.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn relative_counters_zero_baseline() {
+        let rel = SystemCounters::default().relative_to(&SystemCounters::default());
+        assert_eq!(rel.jobs, None);
+    }
+
+    #[test]
+    fn kernel_report_duration() {
+        let r = report("a", 1);
+        assert_eq!(r.duration_us(), 10.0);
+        assert!(r.to_string().contains("a:"));
+    }
+}

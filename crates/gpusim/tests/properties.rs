@@ -1,0 +1,161 @@
+//! Property-based invariants of the GPU simulator.
+
+use proptest::prelude::*;
+use pruneperf_gpusim::{Device, Engine, Job, JobChain, KernelDesc};
+
+fn kernel_strategy() -> impl Strategy<Value = KernelDesc> {
+    (
+        1usize..=2000, // global x
+        1usize..=64,   // global y
+        1usize..=16,   // global z
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(32)],
+        1u64..=100_000, // arith per item
+        0u64..=5_000,   // mem per item
+        prop_oneof![Just(4u32), Just(16u32)],
+        0.1f64..=1.0,  // coalescing
+        0.0f64..0.99,  // cache hit
+        0.05f64..=1.0, // exec efficiency
+    )
+        .prop_map(|(gx, gy, gz, lx, arith, mem, bytes, coal, hit, eff)| {
+            KernelDesc::builder("prop")
+                .global([gx, gy, gz])
+                .local([lx.min(gx.next_power_of_two()), 1, 1])
+                .arith_per_item(arith)
+                .mem_per_item(mem)
+                .bytes_per_mem(bytes)
+                .coalescing(coal)
+                .cache_hit(hit)
+                .exec_efficiency(eff)
+                .build()
+        })
+}
+
+fn device_strategy() -> impl Strategy<Value = Device> {
+    prop_oneof![
+        Just(Device::mali_g72_hikey970()),
+        Just(Device::mali_t628_odroidxu4()),
+        Just(Device::jetson_tx2()),
+        Just(Device::jetson_nano()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Kernel time is finite, positive and deterministic on every device.
+    #[test]
+    fn kernel_time_is_positive_finite_deterministic(
+        kernel in kernel_strategy(),
+        device in device_strategy(),
+    ) {
+        let engine = Engine::new(&device);
+        let t1 = engine.kernel_time_us(&kernel);
+        let t2 = engine.kernel_time_us(&kernel);
+        prop_assert!(t1.is_finite());
+        prop_assert!(t1 > 0.0);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// More arithmetic per item never makes a kernel faster.
+    #[test]
+    fn time_is_monotone_in_arith(
+        kernel in kernel_strategy(),
+        device in device_strategy(),
+        extra in 1u64..=100_000,
+    ) {
+        let engine = Engine::new(&device);
+        let heavier = KernelDesc::builder(kernel.name())
+            .global(kernel.global())
+            .local(kernel.local())
+            .arith_per_item(kernel.arith_per_item() + extra)
+            .mem_per_item(kernel.mem_per_item())
+            .bytes_per_mem(kernel.bytes_per_mem())
+            .coalescing(kernel.coalescing())
+            .cache_hit(kernel.cache_hit())
+            .exec_efficiency(kernel.exec_efficiency())
+            .build();
+        prop_assert!(engine.kernel_time_us(&heavier) >= engine.kernel_time_us(&kernel));
+    }
+
+    /// Chain time equals the sum of its kernels' wall intervals, counters
+    /// are additive, and energy is positive.
+    #[test]
+    fn chain_invariants(
+        kernels in proptest::collection::vec(kernel_strategy(), 1..5),
+        device in device_strategy(),
+        own_submission in any::<bool>(),
+    ) {
+        let mut chain = JobChain::new();
+        let n = kernels.len();
+        for (i, k) in kernels.into_iter().enumerate() {
+            if own_submission && i == n - 1 {
+                chain.push(Job::with_own_submission(k));
+            } else {
+                chain.push(Job::new(k));
+            }
+        }
+        let report = Engine::new(&device).run_chain(&chain);
+        prop_assert_eq!(report.counters().jobs, n as u64);
+        prop_assert_eq!(report.counters().interrupts, n as u64);
+        prop_assert_eq!(
+            report.counters().submissions,
+            if own_submission { 2 } else { 1 }
+        );
+        // Timeline is contiguous and its end equals the total.
+        let last_end = report.kernels().last().expect("non-empty").end_us;
+        prop_assert!((last_end - report.total_time_us()).abs() < 1e-6);
+        prop_assert!(report.total_energy_mj() > 0.0);
+        // Instruction totals are the sum of per-kernel counts.
+        let sum: u64 = report.kernels().iter().map(|k| k.arith_instructions).sum();
+        prop_assert_eq!(sum, report.total_arith());
+    }
+
+    /// Splitting a dispatch into two kernels of half the columns never
+    /// beats the single dispatch once per-job overhead is counted.
+    #[test]
+    fn splitting_work_adds_overhead(
+        device in device_strategy(),
+        items in 64usize..=4096,
+        arith in 100u64..=10_000,
+    ) {
+        let make = |n: usize| {
+            KernelDesc::builder("k")
+                .global([n, 1, 1])
+                .local([4, 1, 1])
+                .arith_per_item(arith)
+                .build()
+        };
+        let engine = Engine::new(&device);
+        let whole = engine
+            .run_chain(&JobChain::from_kernels(vec![make(items)]))
+            .total_time_us();
+        let halves = engine
+            .run_chain(&JobChain::from_kernels(vec![
+                make(items / 2),
+                make(items - items / 2),
+            ]))
+            .total_time_us();
+        prop_assert!(halves >= whole * 0.999, "split {halves} < whole {whole}");
+    }
+
+    /// Energy accounting matches the closed form: ops·pJ + bytes·pJ +
+    /// dispatch power × overhead time.
+    #[test]
+    fn energy_closed_form(
+        kernel in kernel_strategy(),
+        device in device_strategy(),
+    ) {
+        let engine = Engine::new(&device);
+        let report = engine.run_chain(&JobChain::from_kernels(vec![kernel.clone()]));
+        let k = &report.kernels()[0];
+        let dram_bytes = kernel.total_mem() as f64
+            * kernel.bytes_per_mem() as f64
+            * (1.0 - kernel.cache_hit());
+        let expect_uj = (kernel.total_arith() as f64 * device.pj_per_op()
+            + dram_bytes * device.pj_per_dram_byte())
+            / 1e6;
+        prop_assert!((k.energy_uj - expect_uj).abs() <= expect_uj * 1e-9 + 1e-12);
+        let expect_dispatch = device.dispatch_mw() * device.job_dispatch_us() / 1e6;
+        prop_assert!((report.dispatch_energy_uj() - expect_dispatch).abs() < 1e-9);
+    }
+}

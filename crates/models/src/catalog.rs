@@ -1,0 +1,280 @@
+//! The three network catalogs, with the paper's layer labels.
+//!
+//! See the crate docs and `DESIGN.md` §2 for how the label→shape mapping was
+//! reconstructed from the paper's figures and tables.
+
+use crate::{ConvLayerSpec, Network};
+
+/// Shorthand constructor for catalog entries.
+fn l(
+    label: &str,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    c_in: usize,
+    c_out: usize,
+    hw_in: usize,
+) -> ConvLayerSpec {
+    ConvLayerSpec::new(label, kernel, stride, pad, c_in, c_out, hw_in, hw_in)
+}
+
+/// The 23 unique convolutional layer shapes of ResNet-50 (He et al., 2016),
+/// v1.5-style (stride lives in the 3×3 of each stage's first block).
+///
+/// Anchors fixed by the paper: `L0` = 7×7 stem; `L14` has 512 filters
+/// (Figs 5, 7, 12, 20); `L16` is the 3×3 128→128 @28×28 layer of
+/// Tables I–IV (GEMM `M = 784`, `K = 1152`); `L45` has 2048 filters
+/// (Fig 15). Conv layer counts per the paper: filters range 64–2048.
+pub fn resnet50() -> Network {
+    Network::new(
+        "ResNet-50",
+        vec![
+            // Stem.
+            l("ResNet.L0", 7, 2, 3, 3, 64, 224),
+            // conv2 stage (56x56): reduce / 3x3 / expand / later-block reduce.
+            l("ResNet.L1", 1, 1, 0, 64, 64, 56),
+            l("ResNet.L2", 3, 1, 1, 64, 64, 56),
+            l("ResNet.L3", 1, 1, 0, 64, 256, 56),
+            l("ResNet.L5", 1, 1, 0, 256, 64, 56),
+            // conv3 stage (56 -> 28).
+            l("ResNet.L11", 1, 1, 0, 256, 128, 56),
+            l("ResNet.L12", 3, 2, 1, 128, 128, 56),
+            l("ResNet.L13", 1, 1, 0, 128, 512, 28),
+            l("ResNet.L14", 1, 2, 0, 256, 512, 56), // projection, 512 filters
+            l("ResNet.L15", 1, 1, 0, 512, 128, 28),
+            l("ResNet.L16", 3, 1, 1, 128, 128, 28), // Tables I–IV layer
+            // conv4 stage (28 -> 14).
+            l("ResNet.L24", 1, 1, 0, 512, 256, 28),
+            l("ResNet.L25", 3, 2, 1, 256, 256, 28),
+            l("ResNet.L26", 1, 1, 0, 256, 1024, 14),
+            l("ResNet.L27", 1, 2, 0, 512, 1024, 28), // projection
+            l("ResNet.L28", 1, 1, 0, 1024, 256, 14),
+            l("ResNet.L29", 3, 1, 1, 256, 256, 14),
+            // conv5 stage (14 -> 7).
+            l("ResNet.L43", 1, 1, 0, 1024, 512, 14),
+            l("ResNet.L44", 3, 2, 1, 512, 512, 14),
+            l("ResNet.L45", 1, 1, 0, 512, 2048, 7), // 2048 filters (Fig 15)
+            l("ResNet.L46", 1, 2, 0, 1024, 2048, 14), // projection
+            l("ResNet.L47", 1, 1, 0, 2048, 512, 7),
+            l("ResNet.L48", 3, 1, 1, 512, 512, 7),
+        ],
+    )
+}
+
+/// The 9 unique convolutional layer shapes of VGG-16 (Simonyan & Zisserman).
+///
+/// §III-B: indices 0, 2, 5, 7, 10, 12, 17, 19, 24 with 64, 64, 128, 128,
+/// 256, 256, 512, 512, 512 filters respectively; all kernels are 3×3.
+pub fn vgg16() -> Network {
+    Network::new(
+        "VGG-16",
+        vec![
+            l("VGG.L0", 3, 1, 1, 3, 64, 224),
+            l("VGG.L2", 3, 1, 1, 64, 64, 224),
+            l("VGG.L5", 3, 1, 1, 64, 128, 112),
+            l("VGG.L7", 3, 1, 1, 128, 128, 112),
+            l("VGG.L10", 3, 1, 1, 128, 256, 56),
+            l("VGG.L12", 3, 1, 1, 256, 256, 56),
+            l("VGG.L17", 3, 1, 1, 256, 512, 28),
+            l("VGG.L19", 3, 1, 1, 512, 512, 28),
+            l("VGG.L24", 3, 1, 1, 512, 512, 14),
+        ],
+    )
+}
+
+/// The 5 convolutional layers of AlexNet (Krizhevsky et al.).
+///
+/// §III-B: indices 0, 3, 6, 8, 10 with 64, 192, 384, 256, 256 filters.
+pub fn alexnet() -> Network {
+    Network::new(
+        "AlexNet",
+        vec![
+            l("AlexNet.L0", 11, 4, 2, 3, 64, 224),
+            l("AlexNet.L3", 5, 1, 2, 64, 192, 27),
+            l("AlexNet.L6", 3, 1, 1, 192, 384, 13),
+            l("AlexNet.L8", 3, 1, 1, 384, 256, 13),
+            l("AlexNet.L10", 3, 1, 1, 256, 256, 13),
+        ],
+    )
+}
+
+/// Grouped/depthwise shorthand.
+#[allow(clippy::too_many_arguments)]
+fn dw(label: &str, stride: usize, c: usize, hw_in: usize) -> ConvLayerSpec {
+    ConvLayerSpec::new_grouped(label, 3, stride, 1, c, c, hw_in, hw_in, c)
+}
+
+/// The 19 unique convolutional layer shapes of MobileNetV1 (width 1.0).
+///
+/// **Extension beyond the paper**: the paper's motivation — “designing new
+/// neural network architectures for specific devices should consider the
+/// best sizes of convolutional layers for each library and hardware” —
+/// applies directly to depthwise-separable networks, whose pointwise
+/// layers show the same staircases. Labels index the 27 conv layers in
+/// network order (repeated depthwise/pointwise shapes appear once).
+pub fn mobilenet_v1() -> Network {
+    Network::new(
+        "MobileNetV1",
+        vec![
+            l("MobileNet.L0", 3, 2, 1, 3, 32, 224),
+            dw("MobileNet.L1", 1, 32, 112),
+            l("MobileNet.L2", 1, 1, 0, 32, 64, 112),
+            dw("MobileNet.L3", 2, 64, 112),
+            l("MobileNet.L4", 1, 1, 0, 64, 128, 56),
+            dw("MobileNet.L5", 1, 128, 56),
+            l("MobileNet.L6", 1, 1, 0, 128, 128, 56),
+            dw("MobileNet.L7", 2, 128, 56),
+            l("MobileNet.L8", 1, 1, 0, 128, 256, 28),
+            dw("MobileNet.L9", 1, 256, 28),
+            l("MobileNet.L10", 1, 1, 0, 256, 256, 28),
+            dw("MobileNet.L11", 2, 256, 28),
+            l("MobileNet.L12", 1, 1, 0, 256, 512, 14),
+            dw("MobileNet.L13", 1, 512, 14),
+            l("MobileNet.L14", 1, 1, 0, 512, 512, 14),
+            dw("MobileNet.L23", 2, 512, 14),
+            l("MobileNet.L24", 1, 1, 0, 512, 1024, 7),
+            dw("MobileNet.L25", 1, 1024, 7),
+            l("MobileNet.L26", 1, 1, 0, 1024, 1024, 7),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_has_23_unique_layers() {
+        assert_eq!(resnet50().len(), 23);
+    }
+
+    #[test]
+    fn resnet_filter_range_matches_paper() {
+        // §III-B: “Convolutional layers have a number of filters between 64
+        // and 2048.”
+        let net = resnet50();
+        let min = net.layers().iter().map(|l| l.c_out()).min().unwrap();
+        let max = net.layers().iter().map(|l| l.c_out()).max().unwrap();
+        assert_eq!((min, max), (64, 2048));
+    }
+
+    #[test]
+    fn resnet_kernels_are_3x3_and_1x1_plus_stem() {
+        // §III-B: filters of size 3×3 and 1×1 (the 7×7 stem aside).
+        for layer in resnet50().layers() {
+            if layer.label() == "ResNet.L0" {
+                assert_eq!(layer.kernel(), 7);
+            } else {
+                assert!(matches!(layer.kernel(), 1 | 3), "{layer}");
+            }
+        }
+    }
+
+    #[test]
+    fn resnet_anchor_layers() {
+        let net = resnet50();
+        let l16 = net.layer("ResNet.L16").unwrap();
+        assert_eq!(l16.dims().gemm_mkn().unwrap(), (784, 1152, 128));
+        assert_eq!(net.layer("ResNet.L14").unwrap().c_out(), 512);
+        assert_eq!(net.layer("ResNet.L45").unwrap().c_out(), 2048);
+        // Fig 2's ~1000-channel staircase layer exists.
+        assert_eq!(net.layer("ResNet.L26").unwrap().c_out(), 1024);
+    }
+
+    #[test]
+    fn resnet_spatial_chain_is_consistent() {
+        // Every layer produces a feature map no larger than its input and
+        // stage extents follow the 224→112→56→28→14→7 pyramid.
+        for layer in resnet50().layers() {
+            let (oh, ow) = layer.out_hw();
+            assert!(oh <= layer.h_in() && ow <= layer.w_in(), "{layer}");
+            assert!(
+                matches!(oh, 112 | 56 | 28 | 14 | 7),
+                "unexpected output extent {oh} for {layer}"
+            );
+        }
+    }
+
+    #[test]
+    fn vgg_matches_paper_listing() {
+        let net = vgg16();
+        assert_eq!(net.len(), 9);
+        let labels: Vec<&str> = net.layers().iter().map(|l| l.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "VGG.L0", "VGG.L2", "VGG.L5", "VGG.L7", "VGG.L10", "VGG.L12", "VGG.L17", "VGG.L19",
+                "VGG.L24"
+            ]
+        );
+        let filters: Vec<usize> = net.layers().iter().map(|l| l.c_out()).collect();
+        assert_eq!(filters, [64, 64, 128, 128, 256, 256, 512, 512, 512]);
+        assert!(net.layers().iter().all(|l| l.kernel() == 3));
+    }
+
+    #[test]
+    fn alexnet_matches_paper_listing() {
+        let net = alexnet();
+        assert_eq!(net.len(), 5);
+        let filters: Vec<usize> = net.layers().iter().map(|l| l.c_out()).collect();
+        assert_eq!(filters, [64, 192, 384, 256, 256]);
+        // 11x11 stride-4 stem produces the classic 55x55 map... on 227 input;
+        // with 224 + pad 2 it is 55 as well: (224 + 4 - 11)/4 + 1 = 55.
+        assert_eq!(net.layers()[0].out_hw(), (55, 55));
+    }
+
+    #[test]
+    fn all_catalog_layers_have_valid_geometry() {
+        for net in [resnet50(), vgg16(), alexnet()] {
+            for layer in net.layers() {
+                assert!(layer.macs() > 0, "{layer}");
+            }
+        }
+    }
+
+    #[test]
+    fn mobilenet_has_19_unique_layers() {
+        let net = mobilenet_v1();
+        assert_eq!(net.len(), 19);
+        // Alternating depthwise / pointwise after the stem.
+        let dw_count = net.layers().iter().filter(|l| l.is_depthwise()).count();
+        assert_eq!(dw_count, 9);
+        // Depthwise layers carry one input channel per filter.
+        for layer in net.layers().iter().filter(|l| l.is_depthwise()) {
+            assert_eq!(layer.taps(), 9, "{layer}");
+        }
+    }
+
+    #[test]
+    fn mobilenet_pointwise_dominates_macs() {
+        // The classic depthwise-separable property: 1x1 convs carry the
+        // overwhelming share of the arithmetic.
+        let net = mobilenet_v1();
+        let pw: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.kernel() == 1)
+            .map(|l| l.macs())
+            .sum();
+        assert!(pw as f64 / net.total_macs() as f64 > 0.80);
+    }
+
+    #[test]
+    fn depthwise_pruning_shrinks_input_too() {
+        let net = mobilenet_v1();
+        let dw = net.layer("MobileNet.L13").unwrap();
+        let pruned = dw.with_c_out(384).unwrap();
+        assert_eq!(pruned.c_in(), 384);
+        assert_eq!(pruned.groups(), 384);
+        assert!(pruned.is_depthwise());
+    }
+
+    #[test]
+    fn vgg_macs_dominated_by_early_layers() {
+        // Sanity on the catalog: VGG's 224x224 layers are the most work.
+        let net = vgg16();
+        let l2 = net.layer("VGG.L2").unwrap().macs();
+        let l24 = net.layer("VGG.L24").unwrap().macs();
+        assert!(l2 > l24);
+    }
+}

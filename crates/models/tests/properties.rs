@@ -1,0 +1,108 @@
+//! Property-based invariants of the layer catalogs and pruning transforms.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use pruneperf_models::{alexnet, mobilenet_v1, resnet50, vgg16, ConvLayerSpec, Network};
+
+fn any_catalog() -> impl Strategy<Value = Network> {
+    prop_oneof![
+        Just(resnet50()),
+        Just(vgg16()),
+        Just(alexnet()),
+        Just(mobilenet_v1()),
+    ]
+}
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayerSpec> {
+    (any_catalog(), any::<prop::sample::Index>())
+        .prop_map(|(net, idx)| net.layers()[idx.index(net.len())].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// with_c_out never changes anything but the channel dimension(s), and
+    /// pruned MACs never exceed the original.
+    #[test]
+    fn with_c_out_shrinks_macs(layer in layer_strategy(), frac in 0.05f64..1.0) {
+        let c = ((layer.c_out() as f64 * frac).ceil() as usize).clamp(1, layer.c_out());
+        if let Ok(pruned) = layer.with_c_out(c) {
+            prop_assert_eq!(pruned.kernel(), layer.kernel());
+            prop_assert_eq!(pruned.stride(), layer.stride());
+            prop_assert_eq!(pruned.h_in(), layer.h_in());
+            prop_assert!(pruned.macs() <= layer.macs());
+            prop_assert_eq!(pruned.c_out(), c);
+            if layer.is_depthwise() {
+                prop_assert!(pruned.is_depthwise());
+                prop_assert_eq!(pruned.c_in(), c);
+            } else {
+                prop_assert_eq!(pruned.c_in(), layer.c_in());
+            }
+        } else {
+            // Grouped non-depthwise layers can reject counts that break the
+            // group structure; nothing else may fail.
+            prop_assert!(layer.groups() > 1 && c % layer.groups() != 0);
+        }
+    }
+
+    /// pruned_by(d) equals with_c_out(c0 - d) wherever both are defined.
+    #[test]
+    fn pruned_by_matches_with_c_out(layer in layer_strategy(), d in 0usize..64) {
+        prop_assume!(d < layer.c_out());
+        let via_distance = layer.pruned_by(d);
+        let via_count = layer.with_c_out(layer.c_out() - d);
+        match (via_distance, via_count) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Catalog layers serialize/deserialize losslessly (including groups).
+    #[test]
+    fn layer_serde_round_trip(layer in layer_strategy()) {
+        let json = serde_json::to_string(&layer).expect("serializes");
+        let back: ConvLayerSpec = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(layer, back);
+    }
+
+    /// Sequential propagation preserves layer count, labels and order, and
+    /// never increases any layer's MACs.
+    #[test]
+    fn sequential_with_kept_invariants(
+        net in prop_oneof![Just(vgg16()), Just(alexnet()), Just(mobilenet_v1())],
+        fracs in proptest::collection::vec(0.25f64..=1.0, 30),
+    ) {
+        let mut kept = HashMap::new();
+        for (layer, frac) in net.layers().iter().zip(&fracs) {
+            if layer.is_depthwise() {
+                continue;
+            }
+            let c = ((layer.c_out() as f64 * frac).ceil() as usize).clamp(1, layer.c_out());
+            kept.insert(layer.label().to_string(), c);
+        }
+        let coupled = net.sequential_with_kept(&kept);
+        prop_assert_eq!(coupled.len(), net.len());
+        for (orig, new) in net.layers().iter().zip(coupled.layers()) {
+            prop_assert_eq!(orig.label(), new.label());
+            prop_assert!(new.macs() <= orig.macs(), "{} grew", new.label());
+            prop_assert_eq!(orig.kernel(), new.kernel());
+        }
+        // Adjacent layers are consistent: c_in follows predecessor's c_out.
+        for w in coupled.layers().windows(2) {
+            prop_assert_eq!(w[1].c_in(), w[0].c_out());
+        }
+    }
+
+    /// Network-wide pruned_by keeps every layer valid.
+    #[test]
+    fn network_pruned_by_stays_valid(net in any_catalog(), d in 0usize..256) {
+        let pruned = net.pruned_by(d);
+        prop_assert_eq!(pruned.len(), net.len());
+        for layer in pruned.layers() {
+            prop_assert!(layer.c_out() >= 1);
+            prop_assert!(layer.macs() > 0);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pruneperf_backends::ConvBackend;
+use pruneperf_gpusim::{Device, Engine};
+use pruneperf_models::ConvLayerSpec;
+
+use crate::{CurvePoint, LatencyCurve, Measurement, Timeline};
+
+/// Default number of runs per configuration (§III-D).
+const DEFAULT_RUNS: usize = 10;
+/// Relative half-width of the uniform run-to-run jitter.
+const JITTER_FRAC: f64 = 0.018;
+/// Probability of a slow outlier run (scheduler preemption, DVFS, …).
+const OUTLIER_PROB: f64 = 0.08;
+/// Relative magnitude range of outlier slowdowns.
+const OUTLIER_RANGE: (f64, f64) = (0.05, 0.18);
+
+/// Profiles convolutional layers on one simulated device.
+///
+/// Reproduces the paper's measurement loop: run each configuration several
+/// times, report the median. The jitter process is seeded from the
+/// (device, backend, layer, channels, run) tuple, so every experiment is
+/// reproducible while still exercising median-of-N statistics.
+#[derive(Debug, Clone)]
+pub struct LayerProfiler {
+    device: Device,
+    runs: usize,
+    noise: bool,
+}
+
+impl LayerProfiler {
+    /// A profiler with the paper's methodology (median of 10 noisy runs).
+    pub fn new(device: &Device) -> Self {
+        LayerProfiler {
+            device: device.clone(),
+            runs: DEFAULT_RUNS,
+            noise: true,
+        }
+    }
+
+    /// A profiler that reports the simulator's deterministic time directly
+    /// (one run, no jitter) — for analyses that need exact model output.
+    pub fn noiseless(device: &Device) -> Self {
+        LayerProfiler {
+            device: device.clone(),
+            runs: 1,
+            noise: false,
+        }
+    }
+
+    /// Overrides the number of runs per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        assert!(runs > 0, "at least one run is required");
+        self.runs = runs;
+        self
+    }
+
+    /// The device being profiled.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Deterministic per-run jitter factor (≥ 1.0 − JITTER_FRAC).
+    fn jitter(&self, seed: u64, run: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(run as u64));
+        let base = 1.0 + rng.gen_range(-JITTER_FRAC..JITTER_FRAC);
+        if rng.gen_bool(OUTLIER_PROB) {
+            base * (1.0 + rng.gen_range(OUTLIER_RANGE.0..OUTLIER_RANGE.1))
+        } else {
+            base
+        }
+    }
+
+    fn seed_for(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .device
+            .name()
+            .bytes()
+            .chain(backend.name().bytes())
+            .chain(layer.label().bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (layer.c_out() as u64) << 32;
+        h
+    }
+
+    /// Measures one layer configuration (median of the configured runs).
+    pub fn measure(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> Measurement {
+        let base_ms = backend.latency_ms(layer, &self.device);
+        if !self.noise {
+            return Measurement::from_runs(vec![base_ms]);
+        }
+        let seed = self.seed_for(backend, layer);
+        let runs = (0..self.runs)
+            .map(|r| base_ms * self.jitter(seed, r))
+            .collect();
+        Measurement::from_runs(runs)
+    }
+
+    /// Modelled energy of one execution in millijoules (energy is a model
+    /// output, not a measured quantity, so it carries no jitter).
+    pub fn energy_mj(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> f64 {
+        backend.energy_mj(layer, &self.device)
+    }
+
+    /// Intercepts a single execution: kernel timeline plus system counters
+    /// (noise-free — interception observes the dispatch structure).
+    pub fn timeline(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> Timeline {
+        let plan = backend.plan(layer, &self.device);
+        let report = Engine::new(&self.device).run_chain(plan.chain());
+        Timeline::new(
+            plan.backend().to_string(),
+            plan.algorithm().to_string(),
+            report,
+        )
+    }
+
+    /// Sweeps the layer's channel count over `channels` and measures each
+    /// configuration — one figure-style staircase curve.
+    ///
+    /// Channel counts outside the layer's valid range are skipped.
+    pub fn latency_curve(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        channels: std::ops::RangeInclusive<usize>,
+    ) -> LatencyCurve {
+        let points: Vec<CurvePoint> = channels
+            .filter_map(|c| layer.with_c_out(c).ok())
+            .map(|pruned| CurvePoint {
+                channels: pruned.c_out(),
+                measurement: self.measure(backend, &pruned),
+            })
+            .collect();
+        LatencyCurve::new(
+            layer.label().to_string(),
+            backend.name().to_string(),
+            self.device.name().to_string(),
+            points,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_backends::{AclGemm, Cudnn};
+    use pruneperf_models::resnet50;
+
+    fn l16() -> ConvLayerSpec {
+        resnet50().layer("ResNet.L16").unwrap().clone()
+    }
+
+    #[test]
+    fn median_of_ten_by_default() {
+        let p = LayerProfiler::new(&Device::mali_g72_hikey970());
+        let m = p.measure(&AclGemm::new(), &l16());
+        assert_eq!(m.runs_ms().len(), 10);
+        assert!(m.median_ms() > 0.0);
+    }
+
+    #[test]
+    fn measurements_are_reproducible() {
+        let d = Device::mali_g72_hikey970();
+        let p = LayerProfiler::new(&d);
+        let a = p.measure(&AclGemm::new(), &l16());
+        let b = p.measure(&AclGemm::new(), &l16());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_is_small_relative_to_signal() {
+        let d = Device::mali_g72_hikey970();
+        let noisy = LayerProfiler::new(&d);
+        let clean = LayerProfiler::noiseless(&d);
+        let m_noisy = noisy.measure(&AclGemm::new(), &l16()).median_ms();
+        let m_clean = clean.measure(&AclGemm::new(), &l16()).median_ms();
+        assert!((m_noisy / m_clean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn noiseless_is_single_exact_run() {
+        let d = Device::jetson_tx2();
+        let p = LayerProfiler::noiseless(&d);
+        let m = p.measure(&Cudnn::new(), &l16());
+        assert_eq!(m.runs_ms().len(), 1);
+        assert_eq!(m.median_ms(), Cudnn::new().latency_ms(&l16(), &d));
+    }
+
+    #[test]
+    fn curve_sweeps_and_skips_invalid_counts() {
+        let d = Device::mali_g72_hikey970();
+        let p = LayerProfiler::noiseless(&d);
+        // 120..=140 but the layer only has 128 channels -> 9 valid points.
+        let curve = p.latency_curve(&AclGemm::new(), &l16(), 120..=140);
+        assert_eq!(curve.points().len(), 9);
+        assert_eq!(curve.channel_range(), (120, 128));
+    }
+
+    #[test]
+    fn timeline_exposes_interceptor_view() {
+        let d = Device::mali_g72_hikey970();
+        let p = LayerProfiler::new(&d);
+        let layer = l16().with_c_out(92).unwrap();
+        let t = p.timeline(&AclGemm::new(), &layer);
+        assert_eq!(
+            t.kernel_names(),
+            ["im2col3x3_nhwc", "reshape_to_columns", "gemm_mm", "gemm_mm"]
+        );
+        assert_eq!(t.counters().jobs, 4);
+        assert_eq!(t.counters().submissions, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = LayerProfiler::new(&Device::jetson_nano()).with_runs(0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Whole-network execution: every conv layer of a network dispatched in
+//! sequence, with per-layer latency/energy breakdowns and a sustained-load
+//! thermal model.
+//!
+//! The paper measures layers in isolation; deployment runs them back to
+//! back, where two additional effects appear: per-layer costs *sum* (so a
+//! single pathological layer drags the whole network), and sustained load
+//! heats the SoC until the governor throttles the GPU clock — a familiar
+//! phenomenon on the passively-cooled HiKey/Odroid/Nano boards the paper
+//! uses with “default OS” settings (§III-D).
+
+use pruneperf_backends::ConvBackend;
+use pruneperf_gpusim::{Device, Engine};
+use pruneperf_models::Network;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer slice of a network run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Layer label.
+    pub label: String,
+    /// Latency, ms.
+    pub ms: f64,
+    /// Energy, mJ.
+    pub mj: f64,
+}
+
+/// One end-to-end network execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    network: String,
+    device: String,
+    backend: String,
+    layers: Vec<LayerCost>,
+}
+
+impl NetworkReport {
+    /// Per-layer costs in network order.
+    pub fn layers(&self) -> &[LayerCost] {
+        &self.layers
+    }
+
+    /// Total latency across the unique layers, ms.
+    pub fn total_ms(&self) -> f64 {
+        self.layers.iter().map(|l| l.ms).sum()
+    }
+
+    /// Total energy, mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.layers.iter().map(|l| l.mj).sum()
+    }
+
+    /// Average power over the run, milliwatts.
+    pub fn average_power_mw(&self) -> f64 {
+        if self.total_ms() == 0.0 {
+            return 0.0;
+        }
+        // mJ / ms = W; × 1000 -> mW.
+        self.total_mj() / self.total_ms() * 1000.0
+    }
+
+    /// Renders per-layer costs as CSV (`layer,ms,mj`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("layer,ms,mj\n");
+        for l in &self.layers {
+            out.push_str(&format!("{},{:.6},{:.6}\n", l.label, l.ms, l.mj));
+        }
+        out
+    }
+
+    /// The most expensive layer by latency.
+    pub fn slowest_layer(&self) -> Option<&LayerCost> {
+        self.layers.iter().max_by(|a, b| a.ms.total_cmp(&b.ms))
+    }
+}
+
+/// Runs whole networks on one device.
+///
+/// ```
+/// use pruneperf_backends::AclGemm;
+/// use pruneperf_gpusim::Device;
+/// use pruneperf_models::alexnet;
+/// use pruneperf_profiler::NetworkRunner;
+///
+/// let runner = NetworkRunner::new(&Device::mali_g72_hikey970());
+/// let report = runner.run(&AclGemm::new(), &alexnet());
+/// assert_eq!(report.layers().len(), 5);
+/// assert!(report.total_ms() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkRunner {
+    device: Device,
+}
+
+impl NetworkRunner {
+    /// Creates a runner for a device.
+    pub fn new(device: &Device) -> Self {
+        NetworkRunner {
+            device: device.clone(),
+        }
+    }
+
+    /// Executes every unique conv layer of `network` once (deterministic,
+    /// noise-free — aggregate statistics belong to `LayerProfiler`).
+    pub fn run(&self, backend: &dyn ConvBackend, network: &Network) -> NetworkReport {
+        let engine = Engine::new(&self.device);
+        let layers = network
+            .layers()
+            .iter()
+            .map(|l| {
+                let plan = backend.plan(l, &self.device);
+                let report = engine.run_chain(plan.chain());
+                LayerCost {
+                    label: l.label().to_string(),
+                    ms: report.total_time_ms(),
+                    mj: report.total_energy_mj(),
+                }
+            })
+            .collect();
+        NetworkReport {
+            network: network.name().to_string(),
+            device: self.device.name().to_string(),
+            backend: backend.name().to_string(),
+            layers,
+        }
+    }
+}
+
+/// A first-order thermal/DVFS governor for duty-cycled inference.
+///
+/// Models the deployment pattern the paper's boards actually serve: one
+/// inference per fixed frame interval (a camera pipeline). Each frame
+/// deposits the network's energy as heat; the SoC sheds a fraction between
+/// frames. When accumulated heat crosses the budget, the governor steps
+/// the GPU clock down (latency × `throttle_factor`) until it cools below
+/// the hysteresis threshold — like `simple_ondemand` on a passively cooled
+/// board. Because heat tracks **energy per frame**, a pruned network does
+/// not just run faster, it can stay out of throttling entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalGovernor {
+    /// Accumulated-heat budget before throttling engages, millijoules.
+    pub heat_budget_mj: f64,
+    /// Fraction of heat retained across one frame interval.
+    pub retention: f64,
+    /// Latency multiplier while throttled.
+    pub throttle_factor: f64,
+    /// Unthrottle when heat falls below `hysteresis · heat_budget_mj`.
+    pub hysteresis: f64,
+}
+
+impl ThermalGovernor {
+    /// A governor profile typical of passively cooled SoC boards running
+    /// one ImageNet-class inference per frame.
+    pub fn passive_soc() -> Self {
+        ThermalGovernor {
+            heat_budget_mj: 1600.0,
+            retention: 0.85,
+            throttle_factor: 1.45,
+            hysteresis: 0.9,
+        }
+    }
+
+    /// Simulates `iterations` frames of a measured network and returns each
+    /// frame's inference latency in ms. Deterministic.
+    pub fn sustained_latencies(&self, single: &NetworkReport, iterations: usize) -> Vec<f64> {
+        let base_ms = single.total_ms();
+        let frame_mj = single.total_mj();
+        let mut heat = 0.0f64;
+        let mut throttled = false;
+        let mut out = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            if heat > self.heat_budget_mj {
+                throttled = true;
+            } else if heat < self.heat_budget_mj * self.hysteresis {
+                throttled = false;
+            }
+            out.push(if throttled {
+                base_ms * self.throttle_factor
+            } else {
+                base_ms
+            });
+            // The frame deposits its energy; the interval sheds a fraction.
+            heat = heat * self.retention + frame_mj;
+        }
+        out
+    }
+
+    /// Steady-state heat level of a network under this duty cycle, mJ.
+    pub fn steady_state_heat_mj(&self, single: &NetworkReport) -> f64 {
+        single.total_mj() / (1.0 - self.retention)
+    }
+
+    /// `true` when the network's steady-state heat exceeds the budget.
+    pub fn will_throttle(&self, single: &NetworkReport) -> bool {
+        self.steady_state_heat_mj(single) > self.heat_budget_mj
+    }
+
+    /// The worst sustained latency over a long run, ms.
+    pub fn steady_state_ms(&self, single: &NetworkReport) -> f64 {
+        self.sustained_latencies(single, 200)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_backends::{AclGemm, Cudnn};
+    use pruneperf_models::{alexnet, resnet50};
+
+    #[test]
+    fn report_totals_are_sums() {
+        let d = Device::mali_g72_hikey970();
+        let r = NetworkRunner::new(&d).run(&AclGemm::new(), &alexnet());
+        assert_eq!(r.layers().len(), 5);
+        let sum: f64 = r.layers().iter().map(|l| l.ms).sum();
+        assert!((r.total_ms() - sum).abs() < 1e-12);
+        assert!(r.total_mj() > 0.0);
+        assert!(r.average_power_mw() > 0.0);
+    }
+
+    #[test]
+    fn csv_lists_every_layer() {
+        let d = Device::mali_g72_hikey970();
+        let r = NetworkRunner::new(&d).run(&AclGemm::new(), &alexnet());
+        let csv = r.to_csv();
+        assert_eq!(csv.trim_end().lines().count(), 6); // header + 5 layers
+        assert!(csv.starts_with("layer,ms,mj\n"));
+        assert!(csv.contains("AlexNet.L6,"));
+    }
+
+    #[test]
+    fn slowest_layer_is_identified() {
+        let d = Device::jetson_tx2();
+        let r = NetworkRunner::new(&d).run(&Cudnn::new(), &resnet50());
+        let slowest = r.slowest_layer().expect("non-empty");
+        for l in r.layers() {
+            assert!(l.ms <= slowest.ms);
+        }
+    }
+
+    #[test]
+    fn governor_throttles_under_sustained_load() {
+        let d = Device::mali_g72_hikey970();
+        let r = NetworkRunner::new(&d).run(&AclGemm::new(), &resnet50());
+        // Budget below the steady-state heat: throttling must engage.
+        let gov = ThermalGovernor {
+            heat_budget_mj: r.total_mj() * 3.0,
+            retention: 0.85,
+            throttle_factor: 1.4,
+            hysteresis: 0.9,
+        };
+        assert!(gov.will_throttle(&r));
+        let lat = gov.sustained_latencies(&r, 60);
+        assert!((lat[0] - r.total_ms()).abs() < 1e-9, "first frame is cold");
+        let worst = gov.steady_state_ms(&r);
+        assert!(worst > r.total_ms() * 1.3, "steady state should throttle");
+    }
+
+    #[test]
+    fn high_budget_never_throttles() {
+        let d = Device::jetson_tx2();
+        let r = NetworkRunner::new(&d).run(&Cudnn::new(), &alexnet());
+        let gov = ThermalGovernor {
+            heat_budget_mj: r.total_mj() * 100.0,
+            retention: 0.9,
+            throttle_factor: 1.5,
+            hysteresis: 0.9,
+        };
+        assert!(!gov.will_throttle(&r));
+        for ms in gov.sustained_latencies(&r, 40) {
+            assert!((ms - r.total_ms()).abs() < 1e-9);
+        }
+    }
+
+    /// The headline of the extension: a budget between the two networks'
+    /// steady heats lets the pruned network escape throttling entirely.
+    #[test]
+    fn pruning_can_avoid_throttling_entirely() {
+        let d = Device::mali_g72_hikey970();
+        let runner = NetworkRunner::new(&d);
+        let backend = AclGemm::new();
+        let full = runner.run(&backend, &resnet50());
+        let pruned = runner.run(&backend, &resnet50().pruned_by(64));
+        let gov = ThermalGovernor {
+            heat_budget_mj: (gov_mid(&full, &pruned, 0.85)),
+            retention: 0.85,
+            throttle_factor: 1.45,
+            hysteresis: 0.9,
+        };
+        assert!(gov.will_throttle(&full));
+        assert!(!gov.will_throttle(&pruned));
+        assert!(gov.steady_state_ms(&full) > full.total_ms() * 1.3);
+        assert!((gov.steady_state_ms(&pruned) - pruned.total_ms()).abs() < 1e-9);
+    }
+
+    fn gov_mid(a: &NetworkReport, b: &NetworkReport, retention: f64) -> f64 {
+        (a.total_mj() + b.total_mj()) / 2.0 / (1.0 - retention)
+    }
+
+    #[test]
+    fn pruned_network_runs_cooler() {
+        let d = Device::mali_g72_hikey970();
+        let runner = NetworkRunner::new(&d);
+        let backend = AclGemm::new();
+        let full = runner.run(&backend, &resnet50());
+        let pruned = runner.run(&backend, &resnet50().pruned_by(64));
+        assert!(pruned.total_mj() < full.total_mj());
+    }
+}

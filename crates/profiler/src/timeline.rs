@@ -1,0 +1,122 @@
+use std::fmt;
+
+use pruneperf_gpusim::{ChainReport, KernelReport, SystemCounters};
+
+/// A single intercepted execution of one layer's dispatch plan — what the
+/// paper's OpenCL interceptor (or CUDA event timers) sees: every kernel's
+/// name, start/end time and memory footprint, plus the job-manager
+/// counters the GPU-simulator analysis of §IV-B relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    backend: String,
+    algorithm: String,
+    report: ChainReport,
+}
+
+impl Timeline {
+    pub(crate) fn new(
+        backend: impl Into<String>,
+        algorithm: impl Into<String>,
+        report: ChainReport,
+    ) -> Self {
+        Timeline {
+            backend: backend.into(),
+            algorithm: algorithm.into(),
+            report,
+        }
+    }
+
+    /// Backend that produced the dispatches.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Algorithm the backend chose.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Intercepted kernels in dispatch order.
+    pub fn kernels(&self) -> &[KernelReport] {
+        self.report.kernels()
+    }
+
+    /// System-level counters (jobs, control registers, interrupts).
+    pub fn counters(&self) -> &SystemCounters {
+        self.report.counters()
+    }
+
+    /// End-to-end latency of this (noise-free) execution in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.report.total_time_ms()
+    }
+
+    /// The underlying simulator report.
+    pub fn report(&self) -> &ChainReport {
+        &self.report
+    }
+
+    /// Convenience: kernel names in dispatch order.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        self.report
+            .kernels()
+            .iter()
+            .map(|k| k.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] — {:.3} ms, {} jobs",
+            self.backend,
+            self.algorithm,
+            self.total_ms(),
+            self.counters().jobs
+        )?;
+        for k in self.kernels() {
+            writeln!(
+                f,
+                "  {:>10.3}..{:>10.3} us  {}  ({} wg, {} B)",
+                k.start_us, k.end_us, k.name, k.workgroups, k.footprint_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_gpusim::{Device, Engine, JobChain, KernelDesc};
+
+    fn timeline() -> Timeline {
+        let device = Device::mali_g72_hikey970();
+        let k = KernelDesc::builder("gemm_mm")
+            .global([64, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(100)
+            .footprint_bytes(4096)
+            .build();
+        let report = Engine::new(&device).run_chain(&JobChain::from_kernels(vec![k]));
+        Timeline::new("ACL GEMM", "gemm", report)
+    }
+
+    #[test]
+    fn exposes_kernel_names_and_counters() {
+        let t = timeline();
+        assert_eq!(t.kernel_names(), ["gemm_mm"]);
+        assert_eq!(t.counters().jobs, 1);
+        assert!(t.total_ms() > 0.0);
+        assert_eq!(t.backend(), "ACL GEMM");
+    }
+
+    #[test]
+    fn display_contains_footprint() {
+        let s = timeline().to_string();
+        assert!(s.contains("4096 B"), "{s}");
+        assert!(s.contains("gemm_mm"), "{s}");
+    }
+}

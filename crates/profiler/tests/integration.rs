@@ -1,0 +1,123 @@
+//! Profiler integration across the full backend × device matrix.
+
+use pruneperf_backends::{AclDirect, AclDirectTuned, AclGemm, ConvBackend, Cudnn, Tvm};
+use pruneperf_gpusim::Device;
+use pruneperf_models::{alexnet, resnet50};
+use pruneperf_profiler::{LayerProfiler, NetworkRunner};
+
+fn mali_backends() -> Vec<Box<dyn ConvBackend>> {
+    vec![
+        Box::new(AclGemm::new()),
+        Box::new(AclDirect::new()),
+        Box::new(AclDirectTuned::new()),
+        Box::new(Tvm::new()),
+    ]
+}
+
+/// Every backend × device pair yields a usable timeline whose kernel count
+/// matches the plan and whose duration matches the measured latency.
+#[test]
+fn timelines_are_consistent_across_the_matrix() {
+    let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+    let mut cases: Vec<(Device, Box<dyn ConvBackend>)> = Vec::new();
+    for d in [Device::mali_g72_hikey970(), Device::mali_t628_odroidxu4()] {
+        for b in mali_backends() {
+            cases.push((d.clone(), b));
+        }
+    }
+    cases.push((Device::jetson_tx2(), Box::new(Cudnn::new())));
+    cases.push((Device::jetson_nano(), Box::new(Cudnn::new())));
+
+    for (device, backend) in cases {
+        let profiler = LayerProfiler::noiseless(&device);
+        let timeline = profiler.timeline(backend.as_ref(), &layer);
+        let measured = profiler.measure(backend.as_ref(), &layer).median_ms();
+        assert!(
+            (timeline.total_ms() - measured).abs() < 1e-9,
+            "{} on {}: timeline {} vs measured {}",
+            backend.name(),
+            device.name(),
+            timeline.total_ms(),
+            measured
+        );
+        assert!(!timeline.kernels().is_empty());
+        assert!(timeline.counters().jobs as usize == timeline.kernels().len());
+    }
+}
+
+/// The jitter process produces the documented outlier rate (~8%) over many
+/// configurations — median-robustness is what the paper's methodology buys.
+#[test]
+fn jitter_outlier_rate_is_plausible() {
+    let device = Device::mali_g72_hikey970();
+    let noisy = LayerProfiler::new(&device).with_runs(10);
+    let clean = LayerProfiler::noiseless(&device);
+    let backend = AclGemm::new();
+    let mut outliers = 0usize;
+    let mut total = 0usize;
+    let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+    for c in 64..=128 {
+        let pruned = layer.with_c_out(c).unwrap();
+        let base = clean.measure(&backend, &pruned).median_ms();
+        for run in noisy.measure(&backend, &pruned).runs_ms() {
+            total += 1;
+            if *run > base * 1.05 {
+                outliers += 1;
+            }
+        }
+    }
+    let rate = outliers as f64 / total as f64;
+    assert!(
+        (0.02..0.20).contains(&rate),
+        "outlier rate {rate:.3} out of band"
+    );
+}
+
+/// Median-of-10 suppresses the outliers: the reported median is within the
+/// jitter band of the noise-free model for every configuration.
+#[test]
+fn median_suppresses_outliers_everywhere() {
+    let device = Device::jetson_tx2();
+    let noisy = LayerProfiler::new(&device);
+    let clean = LayerProfiler::noiseless(&device);
+    let backend = Cudnn::new();
+    for layer in alexnet().layers() {
+        let m = noisy.measure(&backend, layer).median_ms();
+        let base = clean.measure(&backend, layer).median_ms();
+        assert!(
+            (m / base - 1.0).abs() < 0.05,
+            "{}: median {m} vs base {base}",
+            layer.label()
+        );
+    }
+}
+
+/// Curves are deterministic across profiler instances (no hidden state).
+#[test]
+fn curves_have_no_hidden_state() {
+    let device = Device::mali_g72_hikey970();
+    let layer = resnet50().layer("ResNet.L5").unwrap().clone();
+    let a = LayerProfiler::new(&device).latency_curve(&AclGemm::new(), &layer, 32..=64);
+    let b = LayerProfiler::new(&device).latency_curve(&AclGemm::new(), &layer, 32..=64);
+    assert_eq!(a, b);
+    // Sub-ranges agree with full sweeps point-by-point.
+    let full = LayerProfiler::new(&device).latency_curve(&AclGemm::new(), &layer, 1..=64);
+    for p in a.points() {
+        assert_eq!(full.ms_at(p.channels), Some(p.measurement.median_ms()));
+    }
+}
+
+/// Network runner totals agree with per-layer backend latencies.
+#[test]
+fn runner_matches_backend_sums() {
+    let device = Device::jetson_nano();
+    let backend = Cudnn::new();
+    let net = alexnet();
+    let report = NetworkRunner::new(&device).run(&backend, &net);
+    let sum: f64 = net
+        .layers()
+        .iter()
+        .map(|l| backend.latency_ms(l, &device))
+        .sum();
+    assert!((report.total_ms() - sum).abs() < 1e-9);
+}

@@ -1,0 +1,148 @@
+//! Direct (deep-nested-loop) convolution.
+//!
+//! §II-A of the paper: “this method shifts each filter (channel) one position
+//! at a time over an input image with a deep nested loop. This requires the
+//! least amount of extra memory … although it is also very slow.”
+
+use crate::{Tensor, TensorError};
+
+use super::{output_shape, Conv2dParams};
+
+/// Computes a 2-D convolution with the direct nested-loop algorithm.
+///
+/// `input` is NHWC, `weights` is OHWI; the result is NHWC with
+/// `C = weights.O`. Out-of-bounds taps read zero (zero padding).
+///
+/// # Errors
+///
+/// Propagates the shape-validation errors of [`output_shape`].
+///
+/// # Example
+///
+/// ```
+/// use pruneperf_tensor::{Tensor, conv::{Conv2dParams, direct}};
+/// # fn main() -> Result<(), pruneperf_tensor::TensorError> {
+/// let input = Tensor::from_fn([1, 4, 4, 1], |i| i as f32);
+/// let identity = Tensor::from_vec([1, 1, 1, 1], vec![1.0])?;
+/// let out = direct::conv2d(&input, &identity, Conv2dParams::default())?;
+/// assert_eq!(out.as_slice(), input.as_slice());
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let out_shape = output_shape(input, weights, params)?;
+    let [n, h, w, c_in] = input.shape().dims();
+    let [c_out, kh, kw, _] = weights.shape().dims();
+    let [_, out_h, out_w, _] = out_shape.dims();
+    let stride = params.stride();
+    let pad = params.pad() as isize;
+
+    let mut out = Tensor::zeros(out_shape);
+    for b in 0..n {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for oc in 0..c_out {
+                    let mut acc = 0.0f32;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for ic in 0..c_in {
+                                acc += input.at(b, iy as usize, ix as usize, ic)
+                                    * weights.at(oc, ky, kx, ic);
+                            }
+                        }
+                    }
+                    out.set(b, oy, ox, oc, acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1×1 convolution with a single unit weight is the identity per channel.
+    #[test]
+    fn identity_1x1() {
+        let input = Tensor::from_fn([1, 3, 3, 1], |i| i as f32 + 1.0);
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![1.0]).unwrap();
+        let out = conv2d(&input, &w, Conv2dParams::default()).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    /// Hand-computed 2×2 box filter over a 3×3 image, valid padding.
+    #[test]
+    fn box_filter_2x2_valid() {
+        // input rows: [1 2 3; 4 5 6; 7 8 9]
+        let input = Tensor::from_fn([1, 3, 3, 1], |i| i as f32 + 1.0);
+        let w = Tensor::from_vec([1, 2, 2, 1], vec![1.0; 4]).unwrap();
+        let out = conv2d(&input, &w, Conv2dParams::default()).unwrap();
+        assert_eq!(out.shape().dims(), [1, 2, 2, 1]);
+        assert_eq!(out.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    /// Zero padding contributes zero taps at the borders.
+    #[test]
+    fn same_padding_borders_read_zero() {
+        let input = Tensor::from_fn([1, 2, 2, 1], |i| i as f32 + 1.0); // [1 2; 3 4]
+        let w = Tensor::from_vec([1, 3, 3, 1], vec![1.0; 9]).unwrap();
+        let out = conv2d(&input, &w, Conv2dParams::new(1, 1)).unwrap();
+        // Every output is the sum of the in-bounds neighbourhood.
+        assert_eq!(out.shape().dims(), [1, 2, 2, 1]);
+        assert_eq!(out.as_slice(), &[10.0, 10.0, 10.0, 10.0]);
+    }
+
+    /// Stride-2 picks every other window.
+    #[test]
+    fn stride_two() {
+        let input = Tensor::from_fn([1, 4, 4, 1], |i| i as f32);
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![2.0]).unwrap();
+        let out = conv2d(&input, &w, Conv2dParams::new(2, 0)).unwrap();
+        assert_eq!(out.shape().dims(), [1, 2, 2, 1]);
+        assert_eq!(out.as_slice(), &[0.0, 4.0, 16.0, 20.0]);
+    }
+
+    /// Each output channel is an independent dot product with its filter.
+    #[test]
+    fn multi_channel_independence() {
+        let input = Tensor::from_fn([1, 1, 1, 3], |i| (i + 1) as f32); // [1,2,3]
+                                                                       // Two 1x1 filters over 3 input channels.
+        let w = Tensor::from_vec([2, 1, 1, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
+        let out = conv2d(&input, &w, Conv2dParams::default()).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 5.0]);
+    }
+
+    /// Batch entries are convolved independently.
+    #[test]
+    fn batch_independence() {
+        let input = Tensor::from_fn([2, 2, 2, 1], |i| i as f32);
+        let w = Tensor::from_vec([1, 2, 2, 1], vec![1.0; 4]).unwrap();
+        let out = conv2d(&input, &w, Conv2dParams::default()).unwrap();
+        assert_eq!(out.shape().dims(), [2, 1, 1, 1]);
+        assert_eq!(
+            out.as_slice(),
+            &[0.0 + 1.0 + 2.0 + 3.0, 4.0 + 5.0 + 6.0 + 7.0]
+        );
+    }
+
+    #[test]
+    fn channel_mismatch_is_an_error() {
+        let input = Tensor::zeros([1, 4, 4, 3]);
+        let w = Tensor::zeros([2, 3, 3, 4]);
+        assert!(conv2d(&input, &w, Conv2dParams::new(1, 1)).is_err());
+    }
+}

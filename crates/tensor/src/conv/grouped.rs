@@ -1,0 +1,173 @@
+//! Grouped and depthwise convolution.
+//!
+//! Extension beyond the paper's three networks: efficient mobile
+//! architectures (MobileNet and successors) replace dense convolutions with
+//! grouped/depthwise ones, and per-device channel selection matters there
+//! just as much. Weights are OHWI with the *per-group* input channel count:
+//! `[c_out, kh, kw, c_in / groups]`; output channel `o` reads input group
+//! `o / (c_out / groups)`.
+
+use crate::{Shape4, Tensor, TensorError};
+
+use super::Conv2dParams;
+
+/// Computes a grouped 2-D convolution; `groups == c_in == c_out` is the
+/// depthwise case.
+///
+/// # Errors
+///
+/// * [`TensorError::ChannelMismatch`] — `groups` does not divide the input
+///   channels, or the weights' per-group input count is inconsistent.
+/// * [`TensorError::WindowTooLarge`] — kernel exceeds the padded input.
+pub fn conv2d_grouped(
+    input: &Tensor,
+    weights: &Tensor,
+    params: Conv2dParams,
+    groups: usize,
+) -> Result<Tensor, TensorError> {
+    let [n, h, w, c_in] = input.shape().dims();
+    let [c_out, kh, kw, cg] = weights.shape().dims();
+    if groups == 0 || c_in % groups != 0 || c_out % groups != 0 || cg != c_in / groups {
+        return Err(TensorError::ChannelMismatch {
+            input: c_in,
+            weights: cg * groups,
+        });
+    }
+    let out_h = params.out_extent(h, kh)?;
+    let out_w = params.out_extent(w, kw)?;
+    let out_per_group = c_out / groups;
+    let stride = params.stride();
+    let pad = params.pad() as isize;
+
+    let mut out = Tensor::zeros(Shape4::new(n, out_h, out_w, c_out));
+    for b in 0..n {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for oc in 0..c_out {
+                    let group = oc / out_per_group;
+                    let ic_base = group * cg;
+                    let mut acc = 0.0f32;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for g_ic in 0..cg {
+                                acc += input.at(b, iy as usize, ix as usize, ic_base + g_ic)
+                                    * weights.at(oc, ky, kx, g_ic);
+                            }
+                        }
+                    }
+                    out.set(b, oy, ox, oc, acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Depthwise convolution: one filter per input channel
+/// (`groups == c_in == c_out`).
+///
+/// # Errors
+///
+/// Same as [`conv2d_grouped`].
+pub fn conv2d_depthwise(
+    input: &Tensor,
+    weights: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let c_in = input.shape().dims()[3];
+    conv2d_grouped(input, weights, params, c_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::direct;
+
+    fn fixture(shape: [usize; 4], seed: u32) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            let x = (i as u32)
+                .wrapping_mul(747796405)
+                .wrapping_add(seed.wrapping_mul(2891336453));
+            ((x >> 9) as f32 / (1 << 23) as f32) - 1.0
+        })
+    }
+
+    /// groups = 1 reduces to dense convolution.
+    #[test]
+    fn groups_one_matches_direct() {
+        let input = fixture([1, 6, 6, 4], 1);
+        let weights = fixture([6, 3, 3, 4], 2);
+        let p = Conv2dParams::new(1, 1);
+        let dense = direct::conv2d(&input, &weights, p).unwrap();
+        let grouped = conv2d_grouped(&input, &weights, p, 1).unwrap();
+        assert!(dense.all_close(&grouped, 0.0));
+    }
+
+    /// Grouped conv equals dense conv with block-diagonal weights.
+    #[test]
+    fn grouped_matches_block_diagonal_dense() {
+        let groups = 2;
+        let input = fixture([1, 5, 5, 4], 3); // 2 channels per group
+        let gw = fixture([6, 3, 3, 2], 4); // 3 outputs per group
+                                           // Expand to dense weights with zeros outside each block.
+        let mut dense_w = Tensor::zeros([6, 3, 3, 4]);
+        for oc in 0..6 {
+            let group = oc / 3;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    for gic in 0..2 {
+                        dense_w.set(oc, ky, kx, group * 2 + gic, gw.at(oc, ky, kx, gic));
+                    }
+                }
+            }
+        }
+        let p = Conv2dParams::new(1, 1);
+        let expect = direct::conv2d(&input, &dense_w, p).unwrap();
+        let got = conv2d_grouped(&input, &gw, p, groups).unwrap();
+        assert!(got.all_close(&expect, 1e-5));
+    }
+
+    /// Depthwise: each output channel sees exactly its own input channel.
+    #[test]
+    fn depthwise_isolates_channels() {
+        let input = fixture([1, 4, 4, 3], 5);
+        // Identity 1x1 depthwise filters with per-channel scales.
+        let w = Tensor::from_vec([3, 1, 1, 1], vec![1.0, 2.0, -1.0]).unwrap();
+        let out = conv2d_depthwise(&input, &w, Conv2dParams::default()).unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(out.at(0, y, x, 0), input.at(0, y, x, 0));
+                assert_eq!(out.at(0, y, x, 1), 2.0 * input.at(0, y, x, 1));
+                assert_eq!(out.at(0, y, x, 2), -input.at(0, y, x, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_group_configurations_rejected() {
+        let input = Tensor::zeros([1, 4, 4, 4]);
+        let w = Tensor::zeros([4, 3, 3, 2]);
+        let p = Conv2dParams::new(1, 1);
+        // groups must divide channels and match weights.
+        assert!(conv2d_grouped(&input, &w, p, 3).is_err());
+        assert!(conv2d_grouped(&input, &w, p, 0).is_err());
+        assert!(conv2d_grouped(&input, &w, p, 4).is_err()); // cg should be 1
+        assert!(conv2d_grouped(&input, &w, p, 2).is_ok());
+    }
+
+    #[test]
+    fn depthwise_stride_two() {
+        let input = fixture([1, 6, 6, 2], 7);
+        let w = fixture([2, 3, 3, 1], 8);
+        let out = conv2d_depthwise(&input, &w, Conv2dParams::new(2, 1)).unwrap();
+        assert_eq!(out.shape().dims(), [1, 3, 3, 2]);
+    }
+}

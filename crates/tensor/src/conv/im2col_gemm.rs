@@ -1,0 +1,204 @@
+//! im2col + GEMM convolution.
+//!
+//! §II-A of the paper: “this method performs the convolution by unrolling
+//! each image patch to convolve over into a column of a larger matrix of
+//! unrolled patches, while filters (channels) are unrolled into rows to form
+//! a second large matrix, in a process known as image2col.”
+//!
+//! The intermediate patch matrix costs roughly `kh*kw` times the input —
+//! almost an order of magnitude more memory for 3×3 filters, which is why
+//! the paper notes direct convolution remains the only option on very
+//! memory-constrained devices.
+
+use crate::{Tensor, TensorError};
+
+use super::gemm::{gemm, Matrix};
+use super::{output_shape, Conv2dParams};
+
+/// Unrolls convolution patches of one batch entry into a matrix.
+///
+/// Row `oy*out_w + ox` holds the flattened `kh×kw×c_in` receptive field of
+/// output position `(oy, ox)`; out-of-bounds taps are zero. This is the
+/// `im2col` step that ACL dispatches as its `im2col3x3_nhwc` kernel.
+///
+/// # Errors
+///
+/// Propagates the shape-validation errors of [`Conv2dParams::out_extent`].
+pub fn im2col(
+    input: &Tensor,
+    batch: usize,
+    kernel: (usize, usize),
+    params: Conv2dParams,
+) -> Result<Matrix, TensorError> {
+    let [_, h, w, c_in] = input.shape().dims();
+    let (kh, kw) = kernel;
+    let out_h = params.out_extent(h, kh)?;
+    let out_w = params.out_extent(w, kw)?;
+    let stride = params.stride();
+    let pad = params.pad() as isize;
+
+    let mut m = Matrix::zeros(out_h * out_w, kh * kw * c_in);
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            for ky in 0..kh {
+                let iy = (oy * stride + ky) as isize - pad;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..kw {
+                    let ix = (ox * stride + kx) as isize - pad;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    for ic in 0..c_in {
+                        let col = (ky * kw + kx) * c_in + ic;
+                        m.set(row, col, input.at(batch, iy as usize, ix as usize, ic));
+                    }
+                }
+            }
+        }
+    }
+    Ok(m)
+}
+
+/// Reshapes OHWI weights into a `(kh*kw*c_in) × c_out` matrix.
+///
+/// Columns are output channels; this is ACL's `reshape_to_columns` kernel.
+pub fn weights_to_columns(weights: &Tensor) -> Matrix {
+    let [c_out, kh, kw, c_in] = weights.shape().dims();
+    let mut m = Matrix::zeros(kh * kw * c_in, c_out);
+    for oc in 0..c_out {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                for ic in 0..c_in {
+                    let row = (ky * kw + kx) * c_in + ic;
+                    m.set(row, oc, weights.at(oc, ky, kx, ic));
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Computes a 2-D convolution via im2col + GEMM.
+///
+/// Semantically identical to [`super::direct::conv2d`]; cross-validated by
+/// property tests in this crate.
+///
+/// # Errors
+///
+/// Propagates the shape-validation errors of [`output_shape`].
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let out_shape = output_shape(input, weights, params)?;
+    let [n, _, _, _] = input.shape().dims();
+    let [c_out, kh, kw, _] = weights.shape().dims();
+    let [_, out_h, out_w, _] = out_shape.dims();
+
+    let w_cols = weights_to_columns(weights);
+    let mut out = Tensor::zeros(out_shape);
+    for b in 0..n {
+        let patches = im2col(input, b, (kh, kw), params)?;
+        let prod = gemm(&patches, &w_cols); // (out_h*out_w) x c_out
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for oc in 0..c_out {
+                    out.set(b, oy, ox, oc, prod.at(oy * out_w + ox, oc));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::direct;
+
+    fn fixture(shape: [usize; 4], seed: u32) -> Tensor {
+        // Small deterministic pseudo-random values in [-1, 1).
+        Tensor::from_fn(shape, |i| {
+            let x = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed.wrapping_mul(40503));
+            ((x >> 8) as f32 / (1 << 24) as f32) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn im2col_identity_for_1x1_stride1() {
+        let input = fixture([1, 4, 4, 3], 1);
+        let m = im2col(&input, 0, (1, 1), Conv2dParams::default()).unwrap();
+        assert_eq!(m.rows(), 16);
+        assert_eq!(m.cols(), 3);
+        // Each row is exactly the pixel's channel vector.
+        for y in 0..4 {
+            for x in 0..4 {
+                for c in 0..3 {
+                    assert_eq!(m.at(y * 4 + x, c), input.at(0, y, x, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let input = Tensor::from_fn([1, 2, 2, 1], |i| i as f32 + 1.0);
+        let m = im2col(&input, 0, (3, 3), Conv2dParams::new(1, 1)).unwrap();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 9);
+        // Top-left output: only taps (1,1),(1,2),(2,1),(2,2) of the kernel
+        // are in bounds -> kernel positions 4,5,7,8.
+        let row0: Vec<f32> = (0..9).map(|c| m.at(0, c)).collect();
+        assert_eq!(row0, vec![0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn weights_to_columns_layout() {
+        // 2 output channels, 1x1 kernel, 3 input channels.
+        let w = Tensor::from_fn([2, 1, 1, 3], |i| i as f32);
+        let m = weights_to_columns(&w);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        // Column 0 = filter 0 = [0,1,2]; column 1 = filter 1 = [3,4,5].
+        assert_eq!(m.at(0, 0), 0.0);
+        assert_eq!(m.at(2, 0), 2.0);
+        assert_eq!(m.at(0, 1), 3.0);
+        assert_eq!(m.at(2, 1), 5.0);
+    }
+
+    #[test]
+    fn matches_direct_3x3_pad1() {
+        let input = fixture([1, 9, 9, 4], 7);
+        let weights = fixture([6, 3, 3, 4], 9);
+        let p = Conv2dParams::new(1, 1);
+        let a = direct::conv2d(&input, &weights, p).unwrap();
+        let b = conv2d(&input, &weights, p).unwrap();
+        assert!(a.all_close(&b, 1e-4), "diff {:?}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn matches_direct_strided_batch() {
+        let input = fixture([2, 11, 7, 3], 3);
+        let weights = fixture([5, 3, 3, 3], 4);
+        let p = Conv2dParams::new(2, 1);
+        let a = direct::conv2d(&input, &weights, p).unwrap();
+        let b = conv2d(&input, &weights, p).unwrap();
+        assert!(a.all_close(&b, 1e-4));
+    }
+
+    #[test]
+    fn matches_direct_1x1() {
+        let input = fixture([1, 14, 14, 8], 5);
+        let weights = fixture([12, 1, 1, 8], 6);
+        let p = Conv2dParams::default();
+        let a = direct::conv2d(&input, &weights, p).unwrap();
+        let b = conv2d(&input, &weights, p).unwrap();
+        assert!(a.all_close(&b, 1e-4));
+    }
+}

@@ -1,0 +1,270 @@
+//! Winograd `F(2×2, 3×3)` convolution.
+//!
+//! The third algorithm in cuDNN's forward-convolution selector (alongside
+//! implicit GEMM and precomputed GEMM). Only stride-1 3×3 kernels are
+//! supported; the backend models fall back to GEMM elsewhere, exactly as
+//! cuDNN's heuristics do.
+//!
+//! Per 2×2 output tile the arithmetic drops from 36 multiplies (direct) to
+//! 16, at the cost of input/filter transforms — the trade the simulator's
+//! cuDNN cost model reflects.
+
+use crate::{Tensor, TensorError};
+
+use super::{output_shape, Conv2dParams};
+
+/// Filter transform `U = G · g · Gᵀ` for one 3×3 filter slice.
+fn transform_filter(g: [[f32; 3]; 3]) -> [[f32; 4]; 4] {
+    // G = [[1, 0, 0], [1/2, 1/2, 1/2], [1/2, -1/2, 1/2], [0, 0, 1]]
+    let mut tmp = [[0.0f32; 3]; 4]; // G * g
+    for (r, row) in tmp.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = match r {
+                0 => g[0][c],
+                1 => 0.5 * (g[0][c] + g[1][c] + g[2][c]),
+                2 => 0.5 * (g[0][c] - g[1][c] + g[2][c]),
+                _ => g[2][c],
+            };
+        }
+    }
+    let mut u = [[0.0f32; 4]; 4]; // (G*g) * G^T
+    for (r, row) in u.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = match c {
+                0 => tmp[r][0],
+                1 => 0.5 * (tmp[r][0] + tmp[r][1] + tmp[r][2]),
+                2 => 0.5 * (tmp[r][0] - tmp[r][1] + tmp[r][2]),
+                _ => tmp[r][2],
+            };
+        }
+    }
+    u
+}
+
+/// Input transform `V = Bᵀ · d · B` for one 4×4 input tile.
+fn transform_input(d: [[f32; 4]; 4]) -> [[f32; 4]; 4] {
+    // B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
+    let mut tmp = [[0.0f32; 4]; 4]; // B^T * d
+    for c in 0..4 {
+        tmp[0][c] = d[0][c] - d[2][c];
+        tmp[1][c] = d[1][c] + d[2][c];
+        tmp[2][c] = d[2][c] - d[1][c];
+        tmp[3][c] = d[1][c] - d[3][c];
+    }
+    let mut v = [[0.0f32; 4]; 4]; // (B^T*d) * B
+    for r in 0..4 {
+        v[r][0] = tmp[r][0] - tmp[r][2];
+        v[r][1] = tmp[r][1] + tmp[r][2];
+        v[r][2] = tmp[r][2] - tmp[r][1];
+        v[r][3] = tmp[r][1] - tmp[r][3];
+    }
+    v
+}
+
+/// Output transform `Y = Aᵀ · m · A` producing the 2×2 tile.
+fn transform_output(m: [[f32; 4]; 4]) -> [[f32; 2]; 2] {
+    // A^T = [[1,1,1,0],[0,1,-1,-1]]
+    let mut tmp = [[0.0f32; 4]; 2]; // A^T * m
+    for c in 0..4 {
+        tmp[0][c] = m[0][c] + m[1][c] + m[2][c];
+        tmp[1][c] = m[1][c] - m[2][c] - m[3][c];
+    }
+    let mut y = [[0.0f32; 2]; 2];
+    for r in 0..2 {
+        y[r][0] = tmp[r][0] + tmp[r][1] + tmp[r][2];
+        y[r][1] = tmp[r][1] - tmp[r][2] - tmp[r][3];
+    }
+    y
+}
+
+/// Computes a stride-1 3×3 convolution with Winograd `F(2×2, 3×3)`.
+///
+/// Semantically identical to [`super::direct::conv2d`] for supported
+/// configurations, up to floating-point rounding (the transforms reassociate
+/// additions).
+///
+/// # Errors
+///
+/// * [`TensorError::UnsupportedKernel`] for non-3×3 kernels or stride ≠ 1.
+/// * Shape-validation errors of [`output_shape`].
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    params: Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    let [c_out, kh, kw, c_in] = weights.shape().dims();
+    if (kh, kw) != (3, 3) {
+        return Err(TensorError::UnsupportedKernel {
+            reason: "winograd F(2x2,3x3) requires a 3x3 kernel",
+        });
+    }
+    if params.stride() != 1 {
+        return Err(TensorError::UnsupportedKernel {
+            reason: "winograd F(2x2,3x3) requires stride 1",
+        });
+    }
+    let out_shape = output_shape(input, weights, params)?;
+    let [n, h, w, _] = input.shape().dims();
+    let [_, out_h, out_w, _] = out_shape.dims();
+    let pad = params.pad() as isize;
+
+    // Precompute filter transforms: u[oc][ic].
+    let mut u = vec![vec![[[0.0f32; 4]; 4]; c_in]; c_out];
+    #[allow(clippy::needless_range_loop)]
+    for oc in 0..c_out {
+        #[allow(clippy::needless_range_loop)]
+        for ic in 0..c_in {
+            let mut g = [[0.0f32; 3]; 3];
+            for (ky, grow) in g.iter_mut().enumerate() {
+                for (kx, gv) in grow.iter_mut().enumerate() {
+                    *gv = weights.at(oc, ky, kx, ic);
+                }
+            }
+            u[oc][ic] = transform_filter(g);
+        }
+    }
+
+    let mut out = Tensor::zeros(out_shape);
+    let tiles_y = out_h.div_ceil(2);
+    let tiles_x = out_w.div_ceil(2);
+    for b in 0..n {
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                // Gather the 4x4 input tile for every input channel once.
+                let mut v_per_ic = vec![[[0.0f32; 4]; 4]; c_in];
+                for (ic, v_slot) in v_per_ic.iter_mut().enumerate() {
+                    let mut d = [[0.0f32; 4]; 4];
+                    for (r, drow) in d.iter_mut().enumerate() {
+                        let iy = (ty * 2 + r) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for (c, dv) in drow.iter_mut().enumerate() {
+                            let ix = (tx * 2 + c) as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            *dv = input.at(b, iy as usize, ix as usize, ic);
+                        }
+                    }
+                    *v_slot = transform_input(d);
+                }
+                #[allow(clippy::needless_range_loop)]
+                for oc in 0..c_out {
+                    // Elementwise product accumulated over input channels.
+                    let mut m = [[0.0f32; 4]; 4];
+                    for ic in 0..c_in {
+                        let uf = &u[oc][ic];
+                        let vf = &v_per_ic[ic];
+                        for r in 0..4 {
+                            for c in 0..4 {
+                                m[r][c] += uf[r][c] * vf[r][c];
+                            }
+                        }
+                    }
+                    let y = transform_output(m);
+                    for (r, yrow) in y.iter().enumerate() {
+                        for (c, yv) in yrow.iter().enumerate() {
+                            let oy = ty * 2 + r;
+                            let ox = tx * 2 + c;
+                            if oy < out_h && ox < out_w {
+                                out.set(b, oy, ox, oc, *yv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::direct;
+
+    fn fixture(shape: [usize; 4], seed: u32) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            let x = (i as u32)
+                .wrapping_mul(2246822519)
+                .wrapping_add(seed.wrapping_mul(374761393));
+            ((x >> 9) as f32 / (1 << 23) as f32) - 1.0
+        })
+    }
+
+    #[test]
+    fn rejects_non_3x3() {
+        let input = Tensor::zeros([1, 8, 8, 2]);
+        let w = Tensor::zeros([2, 5, 5, 2]);
+        assert!(matches!(
+            conv2d(&input, &w, Conv2dParams::new(1, 2)),
+            Err(TensorError::UnsupportedKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_stride_2() {
+        let input = Tensor::zeros([1, 8, 8, 2]);
+        let w = Tensor::zeros([2, 3, 3, 2]);
+        assert!(matches!(
+            conv2d(&input, &w, Conv2dParams::new(2, 1)),
+            Err(TensorError::UnsupportedKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_direct_even_output() {
+        let input = fixture([1, 8, 8, 3], 11);
+        let w = fixture([4, 3, 3, 3], 12);
+        let p = Conv2dParams::new(1, 1);
+        let a = direct::conv2d(&input, &w, p).unwrap();
+        let b = conv2d(&input, &w, p).unwrap();
+        assert!(a.all_close(&b, 1e-3), "diff {:?}", a.max_abs_diff(&b));
+    }
+
+    #[test]
+    fn matches_direct_odd_output_needs_edge_tiles() {
+        // 7x7 output: last tile row/col is partial.
+        let input = fixture([1, 7, 7, 2], 21);
+        let w = fixture([3, 3, 3, 2], 22);
+        let p = Conv2dParams::new(1, 1);
+        let a = direct::conv2d(&input, &w, p).unwrap();
+        let b = conv2d(&input, &w, p).unwrap();
+        assert!(a.all_close(&b, 1e-3));
+    }
+
+    #[test]
+    fn matches_direct_valid_padding() {
+        let input = fixture([2, 9, 9, 2], 31);
+        let w = fixture([2, 3, 3, 2], 32);
+        let p = Conv2dParams::default(); // pad 0 -> 7x7 output
+        let a = direct::conv2d(&input, &w, p).unwrap();
+        let b = conv2d(&input, &w, p).unwrap();
+        assert!(a.all_close(&b, 1e-3));
+    }
+
+    #[test]
+    fn filter_transform_of_identity_kernel() {
+        // A kernel with only the centre tap set convolves as a shift; its
+        // transform should reproduce that via the output transform.
+        let mut g = [[0.0f32; 3]; 3];
+        g[1][1] = 1.0;
+        let u = transform_filter(g);
+        // d = all ones -> V, m = u .* v, y must be all ones.
+        let d = [[1.0f32; 4]; 4];
+        let v = transform_input(d);
+        let mut m = [[0.0f32; 4]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                m[r][c] = u[r][c] * v[r][c];
+            }
+        }
+        let y = transform_output(m);
+        for row in y {
+            for val in row {
+                assert!((val - 1.0).abs() < 1e-6, "{val}");
+            }
+        }
+    }
+}

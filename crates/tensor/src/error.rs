@@ -1,0 +1,126 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape4;
+
+/// Errors produced by tensor construction and convolution routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape dims.
+    DataLengthMismatch {
+        /// Shape the caller asked for.
+        shape: Shape4,
+        /// Number of elements actually supplied.
+        len: usize,
+    },
+    /// A shape dimension was zero where a non-empty tensor is required.
+    EmptyDimension {
+        /// Shape containing the zero dimension.
+        shape: Shape4,
+    },
+    /// Input channel count of the image does not match the weight tensor.
+    ChannelMismatch {
+        /// Channels in the input image (NHWC `C`).
+        input: usize,
+        /// Input channels expected by the weights (OHWI `I`).
+        weights: usize,
+    },
+    /// Convolution window does not fit the (padded) input even once.
+    WindowTooLarge {
+        /// Padded input extent (height or width).
+        padded: usize,
+        /// Kernel extent along the same axis.
+        kernel: usize,
+    },
+    /// Stride of zero was requested.
+    ZeroStride,
+    /// The algorithm only supports a specific kernel configuration.
+    UnsupportedKernel {
+        /// Human-readable description of the restriction.
+        reason: &'static str,
+    },
+    /// Channel index out of range for a pruning operation.
+    ChannelOutOfRange {
+        /// Index the caller asked to prune.
+        index: usize,
+        /// Number of channels in the tensor.
+        channels: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLengthMismatch { shape, len } => write!(
+                f,
+                "data length {len} does not match shape {shape} ({} elements)",
+                shape.len()
+            ),
+            TensorError::EmptyDimension { shape } => {
+                write!(f, "shape {shape} contains a zero dimension")
+            }
+            TensorError::ChannelMismatch { input, weights } => {
+                write!(f, "input has {input} channels but weights expect {weights}")
+            }
+            TensorError::WindowTooLarge { padded, kernel } => write!(
+                f,
+                "kernel extent {kernel} exceeds padded input extent {padded}"
+            ),
+            TensorError::ZeroStride => write!(f, "stride must be at least 1"),
+            TensorError::UnsupportedKernel { reason } => {
+                write!(f, "unsupported kernel configuration: {reason}")
+            }
+            TensorError::ChannelOutOfRange { index, channels } => write!(
+                f,
+                "channel index {index} out of range for tensor with {channels} channels"
+            ),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            TensorError::DataLengthMismatch {
+                shape: Shape4::new(1, 2, 2, 3),
+                len: 5,
+            },
+            TensorError::EmptyDimension {
+                shape: Shape4::new(1, 0, 2, 3),
+            },
+            TensorError::ChannelMismatch {
+                input: 3,
+                weights: 4,
+            },
+            TensorError::WindowTooLarge {
+                padded: 2,
+                kernel: 3,
+            },
+            TensorError::ZeroStride,
+            TensorError::UnsupportedKernel { reason: "only 3x3" },
+            TensorError::ChannelOutOfRange {
+                index: 9,
+                channels: 4,
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,214 @@
+//! Exact work accounting for the convolution algorithms.
+//!
+//! The GPU simulator's instruction-mix models are expressed in terms of
+//! these counts; keeping them next to the reference kernels lets tests pin
+//! the analytical numbers to the actual arithmetic performed.
+
+use crate::conv::Conv2dParams;
+use crate::TensorError;
+
+/// Dimensions of one convolutional workload, the unit of accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvDims {
+    /// Batch size.
+    pub batch: usize,
+    /// Input height.
+    pub h_in: usize,
+    /// Input width.
+    pub w_in: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels (filters).
+    pub c_out: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Convolution groups (1 = dense, `c_in` = depthwise).
+    pub groups: usize,
+    /// Stride/padding.
+    pub params: Conv2dParams,
+}
+
+impl ConvDims {
+    /// Output spatial extents `(out_h, out_w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::WindowTooLarge`] if the kernel does not fit.
+    pub fn out_hw(&self) -> Result<(usize, usize), TensorError> {
+        Ok((
+            self.params.out_extent(self.h_in, self.kh)?,
+            self.params.out_extent(self.w_in, self.kw)?,
+        ))
+    }
+
+    /// Input channels each output channel reads (`c_in / groups`).
+    pub fn c_in_per_group(&self) -> usize {
+        self.c_in / self.groups.max(1)
+    }
+
+    /// Multiply–accumulate count of the mathematically exact convolution
+    /// (identical for direct and im2col+GEMM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::WindowTooLarge`] if the kernel does not fit.
+    pub fn macs(&self) -> Result<u64, TensorError> {
+        let (oh, ow) = self.out_hw()?;
+        Ok(self.batch as u64
+            * oh as u64
+            * ow as u64
+            * self.c_out as u64
+            * self.kh as u64
+            * self.kw as u64
+            * self.c_in_per_group() as u64)
+    }
+
+    /// Floating point operations (2 per MAC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::WindowTooLarge`] if the kernel does not fit.
+    pub fn flops(&self) -> Result<u64, TensorError> {
+        Ok(self.macs()? * 2)
+    }
+
+    /// GEMM problem `(m, k, n)` after im2col: `m = out_h*out_w`,
+    /// `k = kh*kw*c_in/groups`, `n = c_out` (per batch entry and group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::WindowTooLarge`] if the kernel does not fit.
+    pub fn gemm_mkn(&self) -> Result<(usize, usize, usize), TensorError> {
+        let (oh, ow) = self.out_hw()?;
+        Ok((
+            oh * ow,
+            self.kh * self.kw * self.c_in_per_group(),
+            self.c_out,
+        ))
+    }
+
+    /// Number of f32 elements of the im2col patch matrix (per batch entry).
+    ///
+    /// The paper notes this is “almost one order of magnitude more memory
+    /// for a 3×3 filter” than the input itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::WindowTooLarge`] if the kernel does not fit.
+    pub fn im2col_elems(&self) -> Result<u64, TensorError> {
+        let (m, k, _) = self.gemm_mkn()?;
+        Ok(m as u64 * k as u64)
+    }
+
+    /// Input elements per batch entry, for memory-blowup comparisons.
+    pub fn input_elems(&self) -> u64 {
+        self.h_in as u64 * self.w_in as u64 * self.c_in as u64
+    }
+
+    /// Multiplies performed by Winograd `F(2×2,3×3)` (element-wise stage
+    /// only, the dominant term): `16 · tiles · c_in · c_out` per batch entry.
+    ///
+    /// Returns `None` for configurations Winograd does not support.
+    pub fn winograd_mults(&self) -> Option<u64> {
+        if (self.kh, self.kw) != (3, 3) || self.params.stride() != 1 {
+            return None;
+        }
+        let (oh, ow) = self.out_hw().ok()?;
+        let tiles = oh.div_ceil(2) as u64 * ow.div_ceil(2) as u64;
+        Some(self.batch as u64 * tiles * 16 * self.c_in as u64 * self.c_out as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims_3x3_28() -> ConvDims {
+        ConvDims {
+            batch: 1,
+            h_in: 28,
+            w_in: 28,
+            c_in: 128,
+            c_out: 96,
+            kh: 3,
+            kw: 3,
+            groups: 1,
+            params: Conv2dParams::new(1, 1),
+        }
+    }
+
+    #[test]
+    fn depthwise_macs_divide_by_groups() {
+        let mut d = dims_3x3_28();
+        d.c_out = 128;
+        d.groups = 128;
+        // Depthwise: each output channel reads a single input channel.
+        assert_eq!(d.macs().unwrap(), 28 * 28 * 128 * 9);
+        assert_eq!(d.c_in_per_group(), 1);
+        assert_eq!(d.gemm_mkn().unwrap().1, 9);
+    }
+
+    #[test]
+    fn macs_of_resnet_l16_like_layer() {
+        // 28*28*96*3*3*128 = 86_704_128
+        assert_eq!(dims_3x3_28().macs().unwrap(), 86_704_128);
+    }
+
+    #[test]
+    fn gemm_dims_match_im2col() {
+        let (m, k, n) = dims_3x3_28().gemm_mkn().unwrap();
+        assert_eq!((m, k, n), (784, 1152, 96));
+        // GEMM MACs m*k*n equal conv MACs.
+        assert_eq!((m * k * n) as u64, dims_3x3_28().macs().unwrap());
+    }
+
+    #[test]
+    fn im2col_memory_blowup_near_kernel_area() {
+        let d = dims_3x3_28();
+        let blowup = d.im2col_elems().unwrap() as f64 / d.input_elems() as f64;
+        // 3x3 stride-1 same-padding -> exactly 9x blowup.
+        assert!((blowup - 9.0).abs() < 1e-9, "blowup {blowup}");
+    }
+
+    #[test]
+    fn winograd_saves_multiplies() {
+        let d = dims_3x3_28();
+        let wino = d.winograd_mults().unwrap();
+        let direct = d.macs().unwrap();
+        // 16/36 of the direct multiplies for even tile coverage.
+        assert!(
+            wino < direct / 2 + direct / 10,
+            "wino {wino} direct {direct}"
+        );
+        assert_eq!(wino, 14 * 14 * 16 * 128 * 96);
+    }
+
+    #[test]
+    fn winograd_unsupported_configurations() {
+        let mut d = dims_3x3_28();
+        d.params = Conv2dParams::new(2, 1);
+        assert_eq!(d.winograd_mults(), None);
+        let mut d = dims_3x3_28();
+        d.kh = 1;
+        d.kw = 1;
+        assert_eq!(d.winograd_mults(), None);
+    }
+
+    #[test]
+    fn macs_scale_linearly_with_channels() {
+        let base = dims_3x3_28();
+        let mut pruned = base;
+        pruned.c_out = 48;
+        assert_eq!(pruned.macs().unwrap() * 2, base.macs().unwrap());
+    }
+
+    #[test]
+    fn oversized_kernel_is_reported() {
+        let mut d = dims_3x3_28();
+        d.h_in = 1;
+        d.params = Conv2dParams::new(1, 0);
+        assert!(d.macs().is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Data-layout conversions: NHWC ↔ NCHW.
+//!
+//! The paper's OpenCL stacks work in NHWC (`im2col3x3_nhwc`,
+//! `direct_convolution3x3_nhwc`) while cuDNN's classic kernels default to
+//! NCHW. Layout determines which memory accesses coalesce — one of the
+//! reasons identical shapes behave differently across libraries — so the
+//! reference substrate supports both and verifies that convolution results
+//! are layout-invariant.
+
+use crate::Tensor;
+
+/// Converts an NHWC activation tensor to NCHW element order.
+///
+/// The result is still a [`Tensor`] (a plain 4-D array); its axes are now
+/// `(batch, channels, height, width)`.
+pub fn nhwc_to_nchw(t: &Tensor) -> Tensor {
+    let [n, h, w, c] = t.shape().dims();
+    let mut out = Tensor::zeros([n, c, h, w]);
+    for b in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    out.set(b, ch, y, x, t.at(b, y, x, ch));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Converts an NCHW activation tensor back to NHWC element order.
+pub fn nchw_to_nhwc(t: &Tensor) -> Tensor {
+    let [n, c, h, w] = t.shape().dims();
+    let mut out = Tensor::zeros([n, h, w, c]);
+    for b in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    out.set(b, y, x, ch, t.at(b, ch, y, x));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Stride in elements between horizontally adjacent pixels of the same
+/// channel — the quantity that decides whether lanes iterating over `x`
+/// coalesce. NHWC: `c` (adjacent pixels are a whole channel vector apart);
+/// NCHW: 1 (perfectly contiguous rows).
+pub fn x_stride_elems(c: usize, layout_is_nhwc: bool) -> usize {
+    if layout_is_nhwc {
+        c
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{direct, Conv2dParams};
+
+    fn fixture(shape: [usize; 4], seed: u32) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            let x = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed.wrapping_mul(2246822519));
+            ((x >> 8) as f32 / (1 << 24) as f32) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let t = fixture([2, 5, 7, 3], 1);
+        let back = nchw_to_nhwc(&nhwc_to_nchw(&t));
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn transpose_moves_elements_correctly() {
+        let t = fixture([1, 2, 3, 4], 2);
+        let nchw = nhwc_to_nchw(&t);
+        assert_eq!(nchw.shape().dims(), [1, 4, 2, 3]);
+        for y in 0..2 {
+            for x in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(nchw.at(0, c, y, x), t.at(0, y, x, c));
+                }
+            }
+        }
+    }
+
+    /// Convolution results are layout-invariant: converting the input to
+    /// NCHW and back before convolving changes nothing.
+    #[test]
+    fn convolution_is_layout_invariant() {
+        let input = fixture([1, 8, 8, 3], 3);
+        let weights = fixture([4, 3, 3, 3], 4);
+        let p = Conv2dParams::new(1, 1);
+        let direct_out = direct::conv2d(&input, &weights, p).unwrap();
+        let round_tripped = nchw_to_nhwc(&nhwc_to_nchw(&input));
+        let out2 = direct::conv2d(&round_tripped, &weights, p).unwrap();
+        assert!(direct_out.all_close(&out2, 0.0));
+    }
+
+    #[test]
+    fn x_strides_explain_coalescing() {
+        // NHWC: lanes walking x hit addresses c elements apart — the reason
+        // ACL's direct kernels coalesce poorly with few live channels.
+        assert_eq!(x_stride_elems(128, true), 128);
+        assert_eq!(x_stride_elems(128, false), 1);
+    }
+
+    #[test]
+    fn single_element_tensor_converts() {
+        // Conversions are total for non-empty tensors; a 1-element tensor
+        // hits every boundary at once.
+        let t = Tensor::from_vec([1, 1, 1, 1], vec![42.0]).expect("valid");
+        assert_eq!(nhwc_to_nchw(&t).as_slice(), &[42.0]);
+        assert_eq!(nchw_to_nhwc(&t).as_slice(), &[42.0]);
+    }
+}

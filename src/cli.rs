@@ -1,0 +1,506 @@
+//! Implementation of the `pruneperf` command-line tool.
+//!
+//! Kept in the library so argument resolution and command execution are
+//! unit-testable; `src/bin/pruneperf.rs` is a thin wrapper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pruneperf_backends::{AclAuto, AclDirect, AclDirectTuned, AclGemm, ConvBackend, Cudnn, Tvm};
+use pruneperf_core::accuracy::AccuracyModel;
+use pruneperf_core::{report, sensitivity, PerfAwarePruner, Staircase};
+use pruneperf_gpusim::{Device, Engine};
+use pruneperf_models::{alexnet, mobilenet_v1, resnet50, vgg16, Network};
+use pruneperf_profiler::{LayerProfiler, NetworkRunner, ThermalGovernor};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Resolves a device short name.
+pub fn device_by_name(name: &str) -> Result<Device, CliError> {
+    let resolved = match name {
+        "g72" => "hikey970",
+        "t628" => "odroidxu4",
+        other => other,
+    };
+    named_devices()
+        .into_iter()
+        .find(|(short, _)| *short == resolved)
+        .map(|(_, d)| d)
+        .ok_or_else(|| {
+            err(format!(
+                "unknown device '{name}' (expected hikey970 | odroidxu4 | tx2 | nano)"
+            ))
+        })
+}
+
+/// Resolves a backend short name.
+pub fn backend_by_name(name: &str) -> Result<Box<dyn ConvBackend>, CliError> {
+    match name {
+        "acl-gemm" => Ok(Box::new(AclGemm::new())),
+        "acl-direct" => Ok(Box::new(AclDirect::new())),
+        "acl-direct-tuned" => Ok(Box::new(AclDirectTuned::new())),
+        "acl-auto" => Ok(Box::new(AclAuto::new())),
+        "cudnn" => Ok(Box::new(Cudnn::new())),
+        "tvm" => Ok(Box::new(Tvm::new())),
+        other => Err(err(format!(
+            "unknown backend '{other}' (expected acl-gemm | acl-direct | acl-direct-tuned | acl-auto | cudnn | tvm)"
+        ))),
+    }
+}
+
+/// Resolves a network short name.
+pub fn network_by_name(name: &str) -> Result<Network, CliError> {
+    match name {
+        "resnet50" => Ok(resnet50()),
+        "vgg16" => Ok(vgg16()),
+        "alexnet" => Ok(alexnet()),
+        "mobilenetv1" => Ok(mobilenet_v1()),
+        other => Err(err(format!(
+            "unknown network '{other}' (expected resnet50 | vgg16 | alexnet | mobilenetv1)"
+        ))),
+    }
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(err(format!(
+                "unexpected argument '{a}' (flags are --key value)"
+            )));
+        };
+        let Some(value) = it.next() else {
+            return Err(err(format!("flag --{key} needs a value")));
+        };
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+usage: pruneperf <command> [--key value ...]
+
+commands:
+  devices                                 list the simulated devices
+  networks                                list the layer catalogs
+  profile   --network N --layer L [--backend B] [--device D] [--format text|csv]
+            sweep a layer's channel count and print the staircase
+  prune     --network N [--backend B] [--device D] [--budget F] [--objective latency|energy]
+            run the performance-aware pruning loop
+  run       --network N [--backend B] [--device D]
+            execute every layer once; per-layer latency/energy + thermal steady state
+  gantt     --network N --layer L [--backend B] [--device D] [--channels C]
+            per-core schedule of one layer's dispatch plan
+  sensitivity --network N [--backend B] [--device D]
+            per-layer latency/accuracy response at 75/50/25% kept channels
+  report    --network N [--backend B] [--device D] [--budget F]
+            markdown pruning-campaign report (staircases, plans, verdict)
+
+defaults: --backend acl-gemm, --device hikey970, --budget 0.8";
+
+/// Executes a command line (without the program name); returns the output
+/// to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message for unknown commands,
+/// flags, or names.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(err(USAGE));
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "devices" => Ok(cmd_devices()),
+        "networks" => Ok(cmd_networks()),
+        "profile" => cmd_profile(&flags),
+        "prune" => cmd_prune(&flags),
+        "run" => cmd_run(&flags),
+        "gantt" => cmd_gantt(&flags),
+        "sensitivity" => cmd_sensitivity(&flags),
+        "report" => cmd_report(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+/// The CLI short names, paired with their devices.
+fn named_devices() -> [(&'static str, Device); 4] {
+    [
+        ("hikey970", Device::mali_g72_hikey970()),
+        ("odroidxu4", Device::mali_t628_odroidxu4()),
+        ("tx2", Device::jetson_tx2()),
+        ("nano", Device::jetson_nano()),
+    ]
+}
+
+fn cmd_devices() -> String {
+    let mut out = String::new();
+    for (short, d) in named_devices() {
+        out.push_str(&format!(
+            "{short:<12} {} — {} GB/s DRAM, {} KiB L2, {} MiB GPU heap\n",
+            d,
+            d.dram_gbs(),
+            d.l2_kib(),
+            d.gpu_heap_mib()
+        ));
+    }
+    out
+}
+
+fn cmd_networks() -> String {
+    let mut out = String::new();
+    for net in [resnet50(), vgg16(), alexnet(), mobilenet_v1()] {
+        out.push_str(&format!(
+            "{:<38} {:>6.2} GMACs\n",
+            net.to_string(),
+            net.total_macs() as f64 / 1e9
+        ));
+        for layer in net.layers() {
+            out.push_str(&format!("  {layer}\n"));
+        }
+    }
+    out
+}
+
+fn layer_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<pruneperf_models::ConvLayerSpec, CliError> {
+    let network = network_by_name(flag(flags, "network", ""))?;
+    let label = flags
+        .get("layer")
+        .ok_or_else(|| err("--layer is required"))?;
+    network
+        .layer(label)
+        .cloned()
+        .ok_or_else(|| err(format!("network has no layer '{label}'")))
+}
+
+fn cmd_profile(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let device = device_by_name(flag(flags, "device", "hikey970"))?;
+    let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
+    let layer = layer_from_flags(flags)?;
+    let profiler = LayerProfiler::new(&device);
+    let curve = profiler.latency_curve(backend.as_ref(), &layer, 1..=layer.c_out());
+    match flag(flags, "format", "text") {
+        "csv" => Ok(curve.to_csv()),
+        "text" => {
+            let staircase = Staircase::detect(&curve);
+            let mut out = format!("{curve}\n");
+            out.push_str(&curve.ascii_plot(84, 14));
+            out.push_str(&staircase.to_string());
+            out.push_str("optimal pruning candidates:\n");
+            for p in staircase.optimal_points() {
+                out.push_str(&format!(
+                    "  keep {:>5} channels -> {:>9.3} ms\n",
+                    p.channels, p.ms
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(err(format!("unknown format '{other}' (text | csv)"))),
+    }
+}
+
+fn cmd_prune(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let device = device_by_name(flag(flags, "device", "hikey970"))?;
+    let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
+    let network = network_by_name(flag(flags, "network", ""))?;
+    let budget: f64 = flag(flags, "budget", "0.8")
+        .parse()
+        .map_err(|_| err("--budget must be a number in (0, 1]"))?;
+    if !(0.0..=1.0).contains(&budget) || budget == 0.0 {
+        return Err(err("--budget must be a number in (0, 1]"));
+    }
+    let profiler = LayerProfiler::noiseless(&device);
+    let accuracy = AccuracyModel::for_network(&network);
+    let pruner = PerfAwarePruner::new(&profiler, &accuracy);
+    let plan = match flag(flags, "objective", "latency") {
+        "latency" => pruner.prune_to_latency(backend.as_ref(), &network, budget),
+        "energy" => pruner.prune_to_energy(backend.as_ref(), &network, budget),
+        other => {
+            return Err(err(format!(
+                "unknown objective '{other}' (latency | energy)"
+            )))
+        }
+    };
+    let mut out = format!(
+        "{plan}\nenergy: {:.2} mJ\nper-layer keeps:\n",
+        plan.energy_mj()
+    );
+    for layer in network.layers() {
+        let kept = plan.kept_for(layer.label()).unwrap_or(layer.c_out());
+        if kept != layer.c_out() {
+            out.push_str(&format!(
+                "  {:<15} {:>5} -> {:>5}\n",
+                layer.label(),
+                layer.c_out(),
+                kept
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let device = device_by_name(flag(flags, "device", "hikey970"))?;
+    let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
+    let network = network_by_name(flag(flags, "network", ""))?;
+    let report = NetworkRunner::new(&device).run(backend.as_ref(), &network);
+    let governor = ThermalGovernor::passive_soc();
+    let mut out = format!("{:<15} {:>10} {:>10}\n", "layer", "ms", "mJ");
+    for l in report.layers() {
+        out.push_str(&format!("{:<15} {:>10.3} {:>10.3}\n", l.label, l.ms, l.mj));
+    }
+    out.push_str(&format!(
+        "total: {:.2} ms, {:.2} mJ, {:.0} mW average\n",
+        report.total_ms(),
+        report.total_mj(),
+        report.average_power_mw()
+    ));
+    out.push_str(&format!(
+        "sustained (thermal steady state): {:.2} ms\n",
+        governor.steady_state_ms(&report)
+    ));
+    Ok(out)
+}
+
+fn cmd_gantt(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let device = device_by_name(flag(flags, "device", "hikey970"))?;
+    let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
+    let mut layer = layer_from_flags(flags)?;
+    if let Some(c) = flags.get("channels") {
+        let c: usize = c
+            .parse()
+            .map_err(|_| err("--channels must be a positive integer"))?;
+        layer = layer
+            .with_c_out(c)
+            .map_err(|e| err(format!("invalid channel count: {e}")))?;
+    }
+    let plan = backend.plan(&layer, &device);
+    let trace = Engine::new(&device).trace_chain(plan.chain());
+    Ok(format!(
+        "{plan}\nutilization: {:.1}%\n{}",
+        trace.utilization() * 100.0,
+        trace.gantt(100)
+    ))
+}
+
+fn cmd_sensitivity(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let device = device_by_name(flag(flags, "device", "hikey970"))?;
+    let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
+    let network = network_by_name(flag(flags, "network", ""))?;
+    let profiler = LayerProfiler::noiseless(&device);
+    let accuracy = AccuracyModel::for_network(&network);
+    let analysis = sensitivity::sensitivity_analysis(
+        &profiler,
+        &accuracy,
+        backend.as_ref(),
+        &network,
+        &[0.75, 0.5, 0.25],
+    );
+    let mut out = String::new();
+    for layer in &analysis {
+        out.push_str(&layer.to_string());
+        out.push_str(&format!(
+            "  best speedup within 1% accuracy loss: {:.2}x
+",
+            layer.best_speedup_within_loss(0.01)
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_report(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let device = device_by_name(flag(flags, "device", "hikey970"))?;
+    let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
+    let network = network_by_name(flag(flags, "network", ""))?;
+    let budget: f64 = flag(flags, "budget", "0.8")
+        .parse()
+        .map_err(|_| err("--budget must be a number in (0, 1]"))?;
+    let profiler = LayerProfiler::noiseless(&device);
+    let accuracy = AccuracyModel::for_network(&network);
+    Ok(report::campaign_report(
+        &profiler,
+        &accuracy,
+        backend.as_ref(),
+        &network,
+        report::ReportOptions {
+            budget_fraction: budget,
+            baseline_distance: 7,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run_cli(&v)
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&["help"]).unwrap().contains("usage:"));
+        assert!(run(&["bogus"]).unwrap_err().0.contains("unknown command"));
+        assert!(run(&[]).unwrap_err().0.contains("usage:"));
+    }
+
+    #[test]
+    fn devices_lists_all_four() {
+        let out = run(&["devices"]).unwrap();
+        for name in ["hikey970", "odroidxu4", "tx2", "nano"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn networks_lists_catalogs() {
+        let out = run(&["networks"]).unwrap();
+        assert!(out.contains("ResNet-50"));
+        assert!(out.contains("MobileNetV1"));
+        assert!(out.contains("ResNet.L16"));
+    }
+
+    #[test]
+    fn profile_text_and_csv() {
+        let out = run(&["profile", "--network", "alexnet", "--layer", "AlexNet.L6"]).unwrap();
+        assert!(out.contains("optimal pruning candidates"), "{out}");
+        let csv = run(&[
+            "profile",
+            "--network",
+            "alexnet",
+            "--layer",
+            "AlexNet.L6",
+            "--format",
+            "csv",
+        ])
+        .unwrap();
+        assert!(csv.starts_with("channels,median_ms"), "{csv}");
+    }
+
+    #[test]
+    fn prune_reports_a_plan() {
+        let out = run(&[
+            "prune",
+            "--network",
+            "alexnet",
+            "--budget",
+            "0.8",
+            "--device",
+            "tx2",
+            "--backend",
+            "cudnn",
+        ])
+        .unwrap();
+        assert!(out.contains("performance-aware plan"), "{out}");
+        assert!(out.contains("energy:"), "{out}");
+    }
+
+    #[test]
+    fn run_reports_totals_and_thermal() {
+        let out = run(&["run", "--network", "alexnet"]).unwrap();
+        assert!(out.contains("total:"), "{out}");
+        assert!(out.contains("sustained"), "{out}");
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let out = run(&[
+            "gantt",
+            "--network",
+            "resnet50",
+            "--layer",
+            "ResNet.L16",
+            "--channels",
+            "92",
+        ])
+        .unwrap();
+        assert!(out.contains("utilization"), "{out}");
+        assert!(out.contains("gemm_mm"), "{out}");
+    }
+
+    #[test]
+    fn sensitivity_reports_all_layers() {
+        let out = run(&[
+            "sensitivity",
+            "--network",
+            "alexnet",
+            "--device",
+            "tx2",
+            "--backend",
+            "cudnn",
+        ])
+        .unwrap();
+        for label in ["AlexNet.L0", "AlexNet.L10"] {
+            assert!(out.contains(label), "{out}");
+        }
+        assert!(
+            out.contains("best speedup within 1% accuracy loss"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let out = run(&[
+            "report",
+            "--network",
+            "alexnet",
+            "--device",
+            "tx2",
+            "--backend",
+            "cudnn",
+        ])
+        .unwrap();
+        assert!(out.contains("# Pruning campaign"), "{out}");
+        assert!(out.contains("## Verdict"), "{out}");
+    }
+
+    #[test]
+    fn flag_errors_are_user_facing() {
+        assert!(run(&["profile", "--network", "resnet50"])
+            .unwrap_err()
+            .0
+            .contains("--layer is required"));
+        assert!(run(&["prune", "--network", "nope"])
+            .unwrap_err()
+            .0
+            .contains("unknown network"));
+        assert!(run(&["profile", "positional"])
+            .unwrap_err()
+            .0
+            .contains("unexpected argument"));
+        assert!(run(&["profile", "--layer"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(run(&["prune", "--network", "alexnet", "--budget", "2.0"])
+            .unwrap_err()
+            .0
+            .contains("--budget"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-stack validation: the simulator's analytical instruction counts
+//! stay anchored to the *executable* arithmetic of the tensor substrate.
+//!
+//! These tests are the glue that keeps the behavioural models honest — if
+//! someone edits a backend's cost constants into nonsense, the ratios to
+//! real MAC counts drift and these tests fail.
+
+use pruneperf::models::weights;
+use pruneperf::prelude::*;
+use pruneperf::tensor::conv::im2col_gemm;
+
+/// The ACL GEMM model retires ~156.5 scalar-equivalent instructions per
+/// 4x4-tile K element, i.e. ~9.78 per MAC (Tables I–IV). Check the ratio
+/// over a spread of real layers.
+#[test]
+fn acl_gemm_instructions_track_macs() {
+    let device = Device::mali_g72_hikey970();
+    let backend = AclGemm::new();
+    for label in ["ResNet.L5", "ResNet.L16", "ResNet.L29", "VGG.L10"] {
+        let layer = if label.starts_with("VGG") {
+            vgg16().layer(label).unwrap().clone()
+        } else {
+            resnet50().layer(label).unwrap().clone()
+        };
+        let plan = backend.plan(&layer, &device);
+        let gemm_arith: u64 = plan
+            .kernels_named("gemm_mm")
+            .map(|k| k.total_arith())
+            .sum::<u64>()
+            .max(1);
+        // Padded column counts inflate the ratio a little; bound it.
+        let macs = layer.macs().max(1);
+        let per_mac = gemm_arith as f64 / macs as f64;
+        assert!(
+            (8.0..14.0).contains(&per_mac),
+            "{label}: {per_mac:.2} instructions per MAC"
+        );
+    }
+}
+
+/// Executable arithmetic agrees with the analytical MAC count: running the
+/// convolution really performs `macs()` multiply–accumulates (verified via
+/// the FLOP-counting identity rather than instrumentation: output of a
+/// conv with all-ones input and weights equals the per-position tap count).
+#[test]
+fn analytical_macs_match_executed_taps() {
+    // All-ones input and weights: each output element equals the number of
+    // in-bounds taps; summing over the output gives the exact MAC count.
+    let layer = ConvLayerSpec::new("Val.L0", 3, 1, 1, 8, 12, 14, 14);
+    let ones_in = Tensor::from_fn([1, 14, 14, 8], |_| 1.0);
+    let ones_w = Tensor::from_fn([12, 3, 3, 8], |_| 1.0);
+    let out = im2col_gemm::conv2d(&ones_in, &ones_w, layer.params()).unwrap();
+    let executed_macs: f64 = out.as_slice().iter().map(|&v| v as f64).sum();
+    // With zero padding, border positions have fewer taps; the analytical
+    // count assumes full taps, so executed <= analytical and within the
+    // border fraction.
+    let analytical = layer.macs() as f64;
+    assert!(executed_macs <= analytical);
+    assert!(
+        executed_macs > analytical * 0.85,
+        "executed {executed_macs} vs analytical {analytical}"
+    );
+    // Valid padding: exact equality.
+    let layer_valid = ConvLayerSpec::new("Val.L1", 3, 1, 0, 8, 12, 14, 14);
+    let out_valid = im2col_gemm::conv2d(&ones_in, &ones_w, layer_valid.params()).unwrap();
+    let executed_valid: f64 = out_valid.as_slice().iter().map(|&v| v as f64).sum();
+    assert_eq!(executed_valid as u64, layer_valid.macs());
+}
+
+/// The accuracy surrogate's channel importances come from the same weights
+/// the tensor substrate convolves with — prune the lowest-L1 channel and
+/// the surrogate's loss matches the removed mass.
+#[test]
+fn accuracy_surrogate_tracks_weight_magnitudes() {
+    let net = alexnet();
+    let model = AccuracyModel::for_network(&net);
+    let layer = net.layer("AlexNet.L6").unwrap();
+    let norms = weights::channel_l1_norms(layer);
+    let total: f32 = norms.iter().sum();
+    let min_norm = norms.iter().cloned().fold(f32::INFINITY, f32::min);
+    let expected_mass = (min_norm / total) as f64;
+    let measured_mass = model.pruned_mass(layer.label(), layer.c_out() - 1).unwrap();
+    assert!(
+        (measured_mass - expected_mass).abs() < 1e-9,
+        "mass {measured_mass} vs expected {expected_mass}"
+    );
+}
+
+/// Energy scales with work across the stack: doubling a layer's channels
+/// roughly doubles modelled energy (fixed costs aside).
+#[test]
+fn energy_tracks_work() {
+    let device = Device::jetson_tx2();
+    let backend = Cudnn::new();
+    let layer = resnet50().layer("ResNet.L14").unwrap().clone();
+    let e256 = backend.energy_mj(&layer.with_c_out(256).unwrap(), &device);
+    let e512 = backend.energy_mj(&layer.with_c_out(512).unwrap(), &device);
+    let ratio = e512 / e256;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "energy ratio {ratio:.2} for 2x channels"
+    );
+}

@@ -1,0 +1,181 @@
+//! Integration tests pinning the paper's headline findings across crates.
+//!
+//! Abstract: “a reduction in the number of convolutional channels, pruning
+//! 12% of the initial size, is in some cases detrimental to performance,
+//! leading to 2× slowdown. … performance-aware pruning achieves the
+//! intended results, with performance speedups of 3× with cuDNN and above
+//! 10× with Arm Compute Library and TVM.”
+
+use pruneperf::core::analysis;
+use pruneperf::prelude::*;
+
+#[test]
+fn pruning_12_percent_can_double_latency_on_acl_gemm() {
+    // Pruning 7 of 64 channels (~11-12%) lands every 64-channel layer on
+    // the split configuration: c4 = 60, 60 % 8 != 0.
+    let device = Device::mali_g72_hikey970();
+    let backend = AclGemm::new();
+    let layer = resnet50().layer("ResNet.L2").unwrap().clone();
+    assert_eq!(layer.c_out(), 64);
+    let t0 = backend.latency_ms(&layer, &device);
+    let t = backend.latency_ms(&layer.pruned_by(7).unwrap(), &device);
+    assert!(
+        t / t0 > 1.5,
+        "pruning ~11% should slow the layer ~2x, got {:.2}x",
+        t / t0
+    );
+    assert!(
+        t / t0 < 3.0,
+        "slowdown {:.2}x beyond the paper's band",
+        t / t0
+    );
+}
+
+#[test]
+fn cudnn_reaches_3x_speedup_with_aware_pruning() {
+    let device = Device::jetson_tx2();
+    let profiler = LayerProfiler::noiseless(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &Cudnn::new(),
+        &resnet50(),
+        &analysis::PAPER_DISTANCES,
+    );
+    let max = heatmap.max_ratio();
+    assert!(max >= 3.0, "cuDNN max speedup {max:.2}, paper reports 3.3x");
+    assert!(
+        max <= 5.0,
+        "cuDNN max speedup {max:.2} beyond the paper's band"
+    );
+}
+
+#[test]
+fn acl_direct_exceeds_10x_speedup_with_aware_pruning() {
+    let device = Device::mali_g72_hikey970();
+    let profiler = LayerProfiler::noiseless(&device);
+    let heatmap = analysis::speedup_table(
+        &profiler,
+        &AclDirect::new(),
+        &resnet50(),
+        &analysis::PAPER_DISTANCES,
+    );
+    assert!(
+        heatmap.max_ratio() > 10.0,
+        "ACL direct max speedup {:.1}, paper reports 16.9x",
+        heatmap.max_ratio()
+    );
+}
+
+#[test]
+fn tvm_pruning_by_one_can_be_catastrophic() {
+    // Fig 19's 0.0x cells: one pruned channel pushes the layer off the
+    // tuning log onto the fallback schedule.
+    let device = Device::mali_g72_hikey970();
+    let backend = Tvm::new();
+    let mut worst = f64::INFINITY;
+    for layer in resnet50().layers() {
+        let t0 = backend.latency_ms(layer, &device);
+        let t1 = backend.latency_ms(&layer.pruned_by(1).unwrap(), &device);
+        worst = worst.min(t0 / t1);
+    }
+    assert!(
+        worst < 0.15,
+        "worst TVM prune-by-one speedup {worst:.2}, paper rounds to 0.0x"
+    );
+}
+
+#[test]
+fn staircases_exist_on_every_device_library_pair() {
+    // §II-B: the staircase is the common structure across all stacks.
+    let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+    let cases: Vec<(Device, Box<dyn pruneperf::backends::ConvBackend>)> = vec![
+        (Device::mali_g72_hikey970(), Box::new(AclGemm::new())),
+        (Device::mali_g72_hikey970(), Box::new(AclDirect::new())),
+        (Device::mali_t628_odroidxu4(), Box::new(AclGemm::new())),
+        (Device::jetson_tx2(), Box::new(Cudnn::new())),
+        (Device::jetson_nano(), Box::new(Cudnn::new())),
+    ];
+    for (device, backend) in cases {
+        let profiler = LayerProfiler::noiseless(&device);
+        let curve = profiler.latency_curve(backend.as_ref(), &layer, 1..=128);
+        let staircase = Staircase::detect(&curve);
+        assert!(
+            staircase.steps().len() >= 3,
+            "{} on {}: expected a staircase, got {} steps",
+            backend.name(),
+            device.name(),
+            staircase.steps().len()
+        );
+        assert!(
+            staircase.optimal_points().len() < 128,
+            "{} on {}: a staircase must collapse candidates",
+            backend.name(),
+            device.name()
+        );
+    }
+}
+
+#[test]
+fn performance_aware_pruning_beats_uninstructed_at_matched_accuracy() {
+    let device = Device::mali_g72_hikey970();
+    let network = resnet50();
+    let backend = AclGemm::new();
+    let profiler = LayerProfiler::noiseless(&device);
+    let accuracy = AccuracyModel::for_network(&network);
+
+    let aware = PerfAwarePruner::new(&profiler, &accuracy);
+    let naive = UninstructedPruner::new(&profiler, &accuracy);
+
+    // The uninstructed plan prunes 7 channels everywhere — on ACL GEMM this
+    // lands the 64-channel layers on split configurations.
+    let naive_plan = naive.prune_by_distance(&backend, &network, 7);
+    // Some performance-aware plan must dominate it: at least as accurate
+    // AND faster.
+    let plans = aware.pareto_plans(&backend, &network, &[1.0, 0.95, 0.9, 0.8]);
+    let dominating = plans.iter().find(|p| {
+        p.accuracy() + 1e-9 >= naive_plan.accuracy() && p.latency_ms() < naive_plan.latency_ms()
+    });
+    assert!(
+        dominating.is_some(),
+        "no perf-aware plan dominates uninstructed ({:.1} ms @ {:.4}); front: {:?}",
+        naive_plan.latency_ms(),
+        naive_plan.accuracy(),
+        plans
+            .iter()
+            .map(|p| (p.latency_ms(), p.accuracy()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn no_library_dominates_on_mali() {
+    // §V: “no optimal library exists to outperform across all neural
+    // network layers.”
+    let device = Device::mali_g72_hikey970();
+    let backends: Vec<Box<dyn pruneperf::backends::ConvBackend>> = vec![
+        Box::new(AclDirect::new()),
+        Box::new(AclGemm::new()),
+        Box::new(Tvm::new()),
+    ];
+    let mut wins = vec![0usize; backends.len()];
+    for network in [resnet50(), vgg16(), alexnet()] {
+        for layer in network.layers() {
+            let times: Vec<f64> = backends
+                .iter()
+                .map(|b| b.latency_ms(layer, &device))
+                .collect();
+            let best = times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            wins[best] += 1;
+        }
+    }
+    let losers = wins.iter().filter(|&&w| w == 0).count();
+    assert!(
+        losers < backends.len() - 1,
+        "exactly one library won everything: {wins:?}"
+    );
+}
