@@ -48,7 +48,7 @@ mod plan;
 pub mod tuning;
 mod tvm;
 
-pub(crate) mod hash;
+pub mod hash;
 
 pub use acl_auto::{AclAuto, AclMethod};
 pub use acl_direct::AclDirect;
@@ -65,26 +65,41 @@ use pruneperf_models::ConvLayerSpec;
 ///
 /// Implementations are deterministic: the same layer and device always
 /// produce the same plan. This trait is object-safe so heterogeneous
-/// backend collections can be iterated (e.g. the library-shootout example).
-pub trait ConvBackend {
+/// backend collections can be iterated (e.g. the library-shootout example),
+/// and `Send + Sync` so backends can be shared across sweep worker threads.
+pub trait ConvBackend: Send + Sync {
     /// Library name as the paper uses it (e.g. `"ACL GEMM"`).
     fn name(&self) -> &str;
+
+    /// A stable identity for memoization: two backends with the same
+    /// fingerprint must plan identically for every (layer, device) pair.
+    ///
+    /// The default hashes the library name, which is correct for stateless
+    /// planners. Backends with configuration that changes their plans
+    /// (e.g. [`Tvm`] with an explicit tuning log) must mix it in.
+    fn fingerprint(&self) -> u64 {
+        hash::fnv1a(self.name().as_bytes())
+    }
 
     /// Lowers a layer into the kernels the library would dispatch.
     fn plan(&self, layer: &ConvLayerSpec, device: &Device) -> DispatchPlan;
 
+    /// Plans and executes the layer once, returning `(latency ms, energy mJ)`
+    /// from the same simulated run — the unit of work a latency cache stores.
+    fn cost(&self, layer: &ConvLayerSpec, device: &Device) -> (f64, f64) {
+        let plan = self.plan(layer, device);
+        let report = Engine::new(device).run_chain(plan.chain());
+        (report.total_time_ms(), report.total_energy_mj())
+    }
+
     /// Convenience: plans and executes the layer, returning latency in ms.
     fn latency_ms(&self, layer: &ConvLayerSpec, device: &Device) -> f64 {
-        let plan = self.plan(layer, device);
-        Engine::new(device).run_chain(plan.chain()).total_time_ms()
+        self.cost(layer, device).0
     }
 
     /// Convenience: plans and executes the layer, returning energy in mJ.
     fn energy_mj(&self, layer: &ConvLayerSpec, device: &Device) -> f64 {
-        let plan = self.plan(layer, device);
-        Engine::new(device)
-            .run_chain(plan.chain())
-            .total_energy_mj()
+        self.cost(layer, device).1
     }
 }
 
@@ -121,6 +136,33 @@ mod tests {
             let ms = backend.latency_ms(&layer, &device);
             assert!(ms > 0.0 && ms < 1000.0, "{}: {ms} ms", backend.name());
         }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_backends() {
+        let backends = all_backends();
+        for (i, a) in backends.iter().enumerate() {
+            for b in backends.iter().skip(i + 1) {
+                assert_ne!(
+                    a.fingerprint(),
+                    b.fingerprint(),
+                    "{} vs {}",
+                    a.name(),
+                    b.name()
+                );
+            }
+            assert_eq!(a.fingerprint(), a.fingerprint());
+        }
+    }
+
+    #[test]
+    fn cost_matches_latency_and_energy() {
+        let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+        let device = Device::mali_g72_hikey970();
+        let backend = AclGemm::new();
+        let (ms, mj) = backend.cost(&layer, &device);
+        assert_eq!(ms, backend.latency_ms(&layer, &device));
+        assert_eq!(mj, backend.energy_mj(&layer, &device));
     }
 
     #[test]

@@ -131,6 +131,27 @@ impl TuningLog {
         self.overrides.len()
     }
 
+    /// A stable digest of the log's contents (device plus every override),
+    /// used to distinguish differently-tuned TVM instances in memo tables.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(32 + self.overrides.len() * 48);
+        bytes.extend_from_slice(self.device.as_bytes());
+        let mut entries: Vec<(&WorkloadKey, &Schedule)> = self.overrides.iter().collect();
+        entries.sort_by_key(|(k, _)| (k.kernel, k.stride, k.h_in, k.c_in, k.c_out));
+        for (key, schedule) in entries {
+            for v in [key.kernel, key.stride, key.h_in, key.c_in, key.c_out] {
+                bytes.extend_from_slice(&(v as u64).to_le_bytes());
+            }
+            bytes.push(match schedule.kind {
+                ScheduleKind::Tuned => 0,
+                ScheduleKind::PartiallyTuned => 1,
+                ScheduleKind::Fallback => 2,
+            });
+            bytes.extend_from_slice(&schedule.quality.to_bits().to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+
     /// Looks up (or derives) the schedule for a workload.
     ///
     /// Resolution order: explicit autotuned entries, then the deterministic

@@ -35,20 +35,37 @@ const FALLBACK_INSTR_PER_MAC: u64 = 14;
 /// // Stock 512 channels are in the tuning log: a GEMM-style schedule.
 /// assert!(plan.algorithm().contains("tuned"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Tvm {
     log: Option<TuningLog>,
+    /// Memoization identity, fixed at construction: hashing the tuning log
+    /// sorts and serializes every override, far too slow to redo on each
+    /// of the millions of cache queries a sweep issues.
+    fingerprint: u64,
+}
+
+impl Default for Tvm {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tvm {
     /// TVM with the stock tuning log for each device.
     pub fn new() -> Self {
-        Tvm { log: None }
+        Tvm {
+            log: None,
+            fingerprint: crate::hash::fnv1a(b"TVM"),
+        }
     }
 
     /// TVM with an explicit tuning log (see [`TuningLog::autotune`]).
     pub fn with_log(log: TuningLog) -> Self {
-        Tvm { log: Some(log) }
+        let fingerprint = crate::hash::fnv1a(b"TVM") ^ crate::hash::splitmix(log.fingerprint());
+        Tvm {
+            log: Some(log),
+            fingerprint,
+        }
     }
 
     /// The log used when planning on `device`.
@@ -62,6 +79,12 @@ impl Tvm {
 impl ConvBackend for Tvm {
     fn name(&self) -> &str {
         "TVM"
+    }
+
+    /// Two `Tvm` instances with different explicit logs plan differently,
+    /// so the log contents must be part of the memoization identity.
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     fn plan(&self, layer: &ConvLayerSpec, device: &Device) -> DispatchPlan {
@@ -215,6 +238,18 @@ mod tests {
             t_after < t_before / 2.0,
             "autotune: {t_before:.1} -> {t_after:.1} ms"
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_tuning_log() {
+        let d = device();
+        let stock = Tvm::new();
+        assert_eq!(stock.fingerprint(), Tvm::new().fingerprint());
+        let mut log = TuningLog::tophub(d.name());
+        log.autotune(&l14(403), 300);
+        let tuned = Tvm::with_log(log.clone());
+        assert_ne!(stock.fingerprint(), tuned.fingerprint());
+        assert_eq!(tuned.fingerprint(), Tvm::with_log(log).fingerprint());
     }
 
     #[test]

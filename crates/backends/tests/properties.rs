@@ -145,3 +145,96 @@ proptest! {
         );
     }
 }
+
+/// Explicit replays of the shrunk failure cases recorded in
+/// `properties.proptest-regressions`.
+///
+/// The offline proptest stand-in does not consume `.proptest-regressions`
+/// seed files (its generation is seeded per test name, not per stored
+/// seed), so the historical counterexamples are pinned here as plain
+/// deterministic tests and run on every `cargo test`.
+mod regressions {
+    use pruneperf_backends::tuning::TuningLog;
+    use pruneperf_backends::{AclDirect, AclDirectTuned, AclGemm, ConvBackend, Cudnn, Tvm};
+    use pruneperf_gpusim::Device;
+    use pruneperf_models::ConvLayerSpec;
+
+    /// `cc db484e…`: `layer = { kernel: 1, stride: 1, c_in: 1, c_out: 249,
+    /// h_in: 4, w_in: 4 }, smaller = 245`. 249 splits as 240+12 while 245
+    /// pads to a single 256-column kernel, so the smaller count retires
+    /// more instructions — legal only within one macro-tile of slack.
+    #[test]
+    fn gemm_instruction_slack_249_vs_245() {
+        let layer = ConvLayerSpec::new("Prop.L0", 1, 1, 0, 1, 249, 4, 4);
+        let smaller = 245usize;
+        let device = Device::mali_g72_hikey970();
+        let big_plan = AclGemm::new().plan(&layer, &device);
+        let big = big_plan.chain().total_arith();
+        let small = AclGemm::new()
+            .plan(&layer.with_c_out(smaller).unwrap(), &device)
+            .chain()
+            .total_arith();
+        let per_item = big_plan
+            .kernels_named("gemm_mm")
+            .next()
+            .expect("plan has a gemm")
+            .arith_per_item();
+        let (out_h, out_w) = layer.out_hw();
+        let slack = (out_h * out_w).div_ceil(4) as u64 * 4 * per_item;
+        assert!(
+            small <= big + slack,
+            "arith({smaller})={small} > arith(249)={big} + slack {slack}"
+        );
+    }
+
+    /// `cc 836d58…`: `layer = { kernel: 1, stride: 2, c_in: 1, c_out: 2,
+    /// h_in: 4, w_in: 4 }` — a degenerate strided 1x1 layer. Run it
+    /// through every single-layer property so the historical failure stays
+    /// covered regardless of which one originally tripped.
+    #[test]
+    fn degenerate_strided_1x1_layer_holds_all_invariants() {
+        let layer = ConvLayerSpec::new("Prop.L0", 1, 2, 0, 1, 2, 4, 4);
+        let mali = Device::mali_g72_hikey970();
+        let tx2 = Device::jetson_tx2();
+
+        // acl_gemm_split_covers_all_columns
+        let plan = AclGemm::new().plan(&layer, &mali);
+        let col_quads: usize = plan.kernels_named("gemm_mm").map(|k| k.global()[1]).sum();
+        assert_eq!(col_quads * 4, layer.c_out().div_ceil(4) * 4);
+
+        // planners_total
+        let cases: Vec<(Box<dyn ConvBackend>, &Device)> = vec![
+            (Box::new(AclGemm::new()), &mali),
+            (Box::new(AclDirect::new()), &mali),
+            (Box::new(AclDirectTuned::new()), &mali),
+            (Box::new(Tvm::new()), &mali),
+            (Box::new(Cudnn::new()), &tx2),
+        ];
+        for (backend, device) in cases {
+            let ms = backend.latency_ms(&layer, device);
+            let mj = backend.energy_mj(&layer, device);
+            assert!(ms.is_finite() && ms > 0.0, "{}: {ms}", backend.name());
+            assert!(mj.is_finite() && mj > 0.0, "{}: {mj}", backend.name());
+        }
+
+        // cudnn_staircase_is_monotone (c_lo = 1, delta = 1)
+        let b = Cudnn::new();
+        let t_lo = b.latency_ms(&layer.with_c_out(1).unwrap(), &tx2);
+        let t_hi = b.latency_ms(&layer, &tx2);
+        assert!(t_hi >= t_lo * 0.999, "t(1)={t_lo} t(2)={t_hi}");
+
+        // autotuner_dominates_heuristic
+        let t_h = AclDirect::new().latency_ms(&layer, &mali);
+        let t_t = AclDirectTuned::new().latency_ms(&layer, &mali);
+        assert!(t_t <= t_h * 1.0001, "tuned {t_t} heuristic {t_h}");
+
+        // tvm_stable_under_log_round_trip
+        let mut log = TuningLog::tophub(mali.name());
+        log.autotune(&layer, 25);
+        let json = serde_json::to_string(&log).expect("serializes");
+        let back: TuningLog = serde_json::from_str(&json).expect("parses");
+        let a = Tvm::with_log(log).latency_ms(&layer, &mali);
+        let b = Tvm::with_log(back).latency_ms(&layer, &mali);
+        assert_eq!(a, b);
+    }
+}

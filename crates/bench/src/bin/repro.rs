@@ -5,18 +5,27 @@
 //! repro fig14 table1    # run specific experiments
 //! repro all             # run everything, print a summary
 //! repro summary         # run everything, print one line per experiment
-//! repro all --json out.json --csv-dir csv/
+//! repro all --jobs 8 --json out.json --csv-dir csv/
 //! ```
+//!
+//! Experiments fan out across `--jobs` worker threads (default: all
+//! available cores; `PRUNEPERF_JOBS` overrides). Results are collected in
+//! experiment order and every latency query is memoized, so stdout and the
+//! JSON/CSV artifacts are byte-identical at any worker count; cache and
+//! worker diagnostics go to stderr.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use pruneperf_bench::{all_ids, run, ExperimentResult};
+use pruneperf_bench::{all_ids, run_many, ExperimentResult};
+use pruneperf_profiler::{sweep, LatencyCache};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro <list | all | id...> [--json <path>] [--csv-dir <dir>]");
+        eprintln!(
+            "usage: repro <list | all | summary | id...> [--jobs <n>] [--json <path>] [--csv-dir <dir>]"
+        );
         eprintln!("ids: {}", all_ids().join(" "));
         return ExitCode::from(2);
     }
@@ -26,29 +35,10 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if args[0] == "summary" {
-        let mut all_ok = true;
-        for id in all_ids() {
-            let r = run(id).expect("registry is complete");
-            let ok = r.findings.iter().filter(|f| f.ok).count();
-            println!(
-                "{:<8} {:>2}/{:<2} findings ok  {}",
-                r.id,
-                ok,
-                r.findings.len(),
-                r.title
-            );
-            all_ok &= r.all_ok();
-        }
-        return if all_ok {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
-    }
 
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
+    let mut jobs_flag: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -64,26 +54,54 @@ fn main() -> ExitCode {
                 eprintln!("--csv-dir needs a directory");
                 return ExitCode::from(2);
             }
+        } else if a == "--jobs" {
+            jobs_flag = it.next().and_then(|v| v.parse().ok());
+            if jobs_flag.is_none() {
+                eprintln!("--jobs needs a positive integer");
+                return ExitCode::from(2);
+            }
         } else {
             ids.push(a);
         }
     }
-    if ids.len() == 1 && ids[0] == "all" {
+
+    let jobs = sweep::resolve_jobs(jobs_flag);
+    sweep::set_sweep_jobs(jobs);
+
+    let summary_mode = ids.len() == 1 && ids[0] == "summary";
+    if summary_mode || (ids.len() == 1 && ids[0] == "all") {
         ids = all_ids().iter().map(|s| s.to_string()).collect();
     }
 
-    let mut results: Vec<ExperimentResult> = Vec::new();
-    for id in &ids {
-        match run(id) {
-            Some(r) => {
-                println!("{r}");
-                results.push(r);
-            }
+    let outcomes = run_many(&ids, jobs);
+    let mut results: Vec<ExperimentResult> = Vec::with_capacity(outcomes.len());
+    for (id, outcome) in ids.iter().zip(outcomes) {
+        match outcome {
+            Some(r) => results.push(r),
             None => {
                 eprintln!("unknown experiment id: {id}");
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if summary_mode {
+        for r in &results {
+            let ok = r.findings.iter().filter(|f| f.ok).count();
+            println!(
+                "{:<8} {:>2}/{:<2} findings ok  {}",
+                r.id,
+                ok,
+                r.findings.len(),
+                r.title
+            );
+        }
+        report_engine_stats(jobs);
+        return exit_code(&results);
+    }
+
+    for r in &results {
+        println!("{r}");
     }
 
     // Summary.
@@ -98,6 +116,7 @@ fn main() -> ExitCode {
         results.iter().filter(|r| r.all_ok()).count(),
         results.len()
     );
+    report_engine_stats(jobs);
 
     if let Some(dir) = csv_dir {
         if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -131,6 +150,16 @@ fn main() -> ExitCode {
         }
     }
 
+    exit_code(&results)
+}
+
+/// Cache/worker diagnostics go to stderr so stdout stays byte-identical to
+/// a sequential run (`repro ... > repro_output.txt` is a supported flow).
+fn report_engine_stats(jobs: usize) {
+    eprintln!("{} [{} worker(s)]", LatencyCache::global().stats(), jobs);
+}
+
+fn exit_code(results: &[ExperimentResult]) -> ExitCode {
     if results.iter().all(|r| r.all_ok()) {
         ExitCode::SUCCESS
     } else {

@@ -7,6 +7,7 @@ pub(crate) mod util;
 
 use std::fmt;
 
+use pruneperf_profiler::sweep;
 use serde::{Deserialize, Serialize};
 
 /// One paper-vs-measured comparison.
@@ -156,6 +157,19 @@ pub fn run(id: &str) -> Option<ExperimentResult> {
         "ext7" => extensions::ext7(),
         _ => return None,
     })
+}
+
+/// Runs many experiments across `jobs` worker threads.
+///
+/// Results come back in the order of `ids` (index-ordered collection), so
+/// anything rendered from them — `repro` stdout, `repro_results.json`,
+/// per-experiment CSVs — is byte-identical to a sequential run at any
+/// worker count. Experiments are pure functions of the deterministic
+/// simulator stack and share the process-wide
+/// [`pruneperf_profiler::LatencyCache`], so workers also warm each other's
+/// latency queries.
+pub fn run_many(ids: &[String], jobs: usize) -> Vec<Option<ExperimentResult>> {
+    sweep::ordered_parallel_map(ids, jobs, |id| run(id))
 }
 
 #[cfg(test)]

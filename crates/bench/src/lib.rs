@@ -17,4 +17,4 @@
 
 pub mod experiments;
 
-pub use experiments::{all_ids, run, ExperimentResult, Finding};
+pub use experiments::{all_ids, run, run_many, ExperimentResult, Finding};

@@ -1,0 +1,61 @@
+//! The parallel experiment runner must be indistinguishable — byte for
+//! byte — from a sequential run, while the shared latency cache makes
+//! repeated work cheap.
+
+use pruneperf_bench::{run, run_many, ExperimentResult};
+use pruneperf_profiler::LatencyCache;
+
+fn ids(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+/// `--jobs 1` and `--jobs 8` must serialize to identical
+/// `repro_results.json` content (acceptance criterion of the sweep
+/// engine). A representative slice of figures, tables and extensions keeps
+/// the test quick.
+#[test]
+fn jobs_1_and_jobs_8_produce_identical_json() {
+    let subset = ids(&["fig2", "fig3", "fig14", "table1", "ext1"]);
+    let sequential: Vec<ExperimentResult> = run_many(&subset, 1)
+        .into_iter()
+        .map(|r| r.expect("known id"))
+        .collect();
+    let parallel: Vec<ExperimentResult> = run_many(&subset, 8)
+        .into_iter()
+        .map(|r| r.expect("known id"))
+        .collect();
+    assert_eq!(sequential, parallel);
+    let seq_json = serde_json::to_string_pretty(&sequential).expect("serializes");
+    let par_json = serde_json::to_string_pretty(&parallel).expect("serializes");
+    assert_eq!(seq_json, par_json);
+}
+
+/// Results land in the slot of their input id, so order follows the
+/// request, not completion time; unknown ids surface as `None` in place.
+#[test]
+fn results_are_index_ordered_and_unknown_ids_are_none() {
+    let mixed = ids(&["table1", "bogus", "fig2"]);
+    let results = run_many(&mixed, 4);
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].as_ref().expect("table1 exists").id, "table1");
+    assert!(results[1].is_none());
+    assert_eq!(results[2].as_ref().expect("fig2 exists").id, "fig2");
+}
+
+/// Running two figures back to back must hit the memo table: the second
+/// pass over shared (backend, layer, device) configurations is served from
+/// cache. Counters are monotone, so deltas are safe even though the cache
+/// is process-global and other tests run concurrently.
+#[test]
+fn two_figure_run_records_cache_hits() {
+    let before = LatencyCache::global().stats();
+    run("fig14").expect("fig14 exists");
+    run("fig14").expect("fig14 exists"); // identical queries: all hits
+    run("fig15").expect("fig15 exists");
+    let after = LatencyCache::global().stats();
+    assert!(
+        after.hits > before.hits,
+        "expected cache hits, got {before:?} -> {after:?}"
+    );
+    assert!(after.misses > before.misses, "first run must miss");
+}

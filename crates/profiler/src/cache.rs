@@ -1,0 +1,380 @@
+//! A concurrent memo table for simulated layer costs.
+//!
+//! Every figure, heatmap and pruning search in the repo bottoms out in the
+//! same query: "what does layer L cost on device D under backend B?" The
+//! paper's methodology makes that query *heavily* redundant — a staircase
+//! sweeps 1..=1024 channel counts per layer, the pruner's search revisits
+//! the same candidate counts layer after layer, and the 32 repro
+//! experiments overlap on the stock configurations. [`LatencyCache`]
+//! memoizes the deterministic simulator run behind
+//! [`ConvBackend::cost`], keyed by (backend fingerprint, device, layer
+//! spec), so each unique configuration is simulated exactly once per
+//! process no matter how many sweeps touch it — and safely from many
+//! worker threads at once.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use pruneperf_backends::hash::fnv1a;
+use pruneperf_backends::ConvBackend;
+use pruneperf_gpusim::Device;
+use pruneperf_models::ConvLayerSpec;
+
+/// Number of independently locked shards; a power of two so the shard
+/// index is a cheap mask. 16 comfortably out-scales the worker counts the
+/// sweep engine runs with.
+const SHARDS: usize = 16;
+
+/// One memo-table key: which planner, on which device, for which layer.
+///
+/// The backend contributes its [`ConvBackend::fingerprint`] rather than its
+/// name, so configured backends (e.g. TVM with an autotuned log) that plan
+/// differently never collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CacheKey {
+    backend: u64,
+    device: String,
+    layer: ConvLayerSpec,
+}
+
+impl CacheKey {
+    fn matches(&self, backend: u64, device: &str, layer: &ConvLayerSpec) -> bool {
+        self.backend == backend && self.device == device && &self.layer == layer
+    }
+}
+
+/// SplitMix64 finalizer: cheap, high-quality 64-bit mixing.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Digest of the logical key, computed directly from borrowed parts.
+///
+/// A cache query competes with this repo's analytic simulator run, which
+/// is only a microsecond or two, so the hot path must stay allocation-free
+/// and cheap: strings go through one FNV-1a pass each, numeric fields are
+/// folded word-wise through SplitMix64, and an owned [`CacheKey`] (two
+/// heap allocations) is built only when a miss actually inserts.
+fn key_digest(backend: u64, device: &str, layer: &ConvLayerSpec) -> u64 {
+    let mut h = splitmix(backend);
+    h = splitmix(h ^ fnv1a(device.as_bytes()));
+    h = splitmix(h ^ fnv1a(layer.label().as_bytes()));
+    for v in [
+        layer.kernel(),
+        layer.stride(),
+        layer.pad(),
+        layer.c_in(),
+        layer.c_out(),
+        layer.h_in(),
+        layer.w_in(),
+        layer.groups(),
+    ] {
+        h = splitmix(h ^ (v as u64));
+    }
+    h
+}
+
+/// The digest is already well-mixed, so bucket maps index by it directly
+/// instead of re-hashing through SipHash.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl std::hash::Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = splitmix(self.0 ^ u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type Bucket = Vec<(CacheKey, (f64, f64))>;
+type Shard = HashMap<u64, Bucket, std::hash::BuildHasherDefault<IdentityHasher>>;
+
+/// A snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo table.
+    pub hits: u64,
+    /// Queries that had to run the simulator.
+    pub misses: u64,
+    /// Unique (backend, device, layer) configurations currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of queries served from the table, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "latency cache: {} hits, {} misses, {} entries ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            self.entries,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// A sharded, thread-safe memo table over [`ConvBackend::cost`].
+///
+/// Values are the exact `(latency ms, energy mJ)` pair one simulator run
+/// produces, so cached and uncached reads are bitwise-identical — callers
+/// can layer seeded measurement noise on top without caring whether the
+/// base value came from the table.
+///
+/// Most callers want the process-wide [`LatencyCache::global`] instance,
+/// which every [`crate::LayerProfiler`] and [`crate::NetworkRunner`] query
+/// goes through; standalone instances exist for tests and isolation.
+#[derive(Debug)]
+pub struct LatencyCache {
+    /// Buckets keyed by [`key_digest`]; each holds the (rarely >1) exact
+    /// keys sharing that digest so hash collisions stay correct.
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for LatencyCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LatencyCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache shared by every profiler and runner.
+    pub fn global() -> &'static LatencyCache {
+        static GLOBAL: OnceLock<LatencyCache> = OnceLock::new();
+        GLOBAL.get_or_init(LatencyCache::new)
+    }
+
+    /// `(latency ms, energy mJ)` of one execution, memoized.
+    ///
+    /// On a miss the simulator runs *outside* the shard lock: two threads
+    /// racing on the same fresh key may both simulate, but the computation
+    /// is deterministic so whichever insert lands is indistinguishable,
+    /// and no thread ever blocks on another's simulation.
+    pub fn cost(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        device: &Device,
+    ) -> (f64, f64) {
+        let fingerprint = backend.fingerprint();
+        let digest = key_digest(fingerprint, device.name(), layer);
+        // Shard on the *top* bits: the identity-hashed bucket maps consume
+        // the low bits for their own indexing, and sharing those across the
+        // shard split would cluster every shard's keys.
+        let shard = &self.shards[(digest >> 60) as usize & (SHARDS - 1)];
+        {
+            let table = shard.lock().expect("cache shard poisoned");
+            if let Some(bucket) = table.get(&digest) {
+                if let Some((_, cached)) = bucket
+                    .iter()
+                    .find(|(k, _)| k.matches(fingerprint, device.name(), layer))
+                {
+                    let cached = *cached;
+                    drop(table);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return cached;
+                }
+            }
+        }
+        let computed = backend.cost(layer, device);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let key = CacheKey {
+            backend: fingerprint,
+            device: device.name().to_string(),
+            layer: layer.clone(),
+        };
+        let mut table = shard.lock().expect("cache shard poisoned");
+        let bucket = table.entry(digest).or_default();
+        if !bucket
+            .iter()
+            .any(|(k, _)| k.matches(fingerprint, device.name(), layer))
+        {
+            bucket.push((key, computed));
+        }
+        computed
+    }
+
+    /// Memoized latency in ms (the `.0` of [`LatencyCache::cost`]).
+    pub fn latency_ms(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        device: &Device,
+    ) -> f64 {
+        self.cost(backend, layer, device).0
+    }
+
+    /// Memoized energy in mJ (the `.1` of [`LatencyCache::cost`]).
+    pub fn energy_mj(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        device: &Device,
+    ) -> f64 {
+        self.cost(backend, layer, device).1
+    }
+
+    /// Current hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Number of memoized configurations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the counters (for tests and long-lived
+    /// processes that switch workloads).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pruneperf_backends::{AclGemm, Cudnn, Tvm};
+    use pruneperf_models::resnet50;
+
+    fn l16() -> ConvLayerSpec {
+        resnet50().layer("ResNet.L16").unwrap().clone()
+    }
+
+    #[test]
+    fn cached_reads_are_bitwise_equal_to_uncached() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        for c in [128usize, 92, 76] {
+            let layer = l16().with_c_out(c).unwrap();
+            let (ms, mj) = cache.cost(&b, &layer, &d); // miss
+            let (ms2, mj2) = cache.cost(&b, &layer, &d); // hit
+            assert_eq!(ms, b.latency_ms(&layer, &d));
+            assert_eq!(mj, b.energy_mj(&layer, &d));
+            assert_eq!((ms, mj), (ms2, mj2));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keys_distinguish_backend_device_and_layer() {
+        let cache = LatencyCache::new();
+        let mali = Device::mali_g72_hikey970();
+        let tx2 = Device::jetson_tx2();
+        let layer = l16();
+        cache.cost(&AclGemm::new(), &layer, &mali);
+        cache.cost(&Cudnn::new(), &layer, &tx2);
+        cache.cost(&AclGemm::new(), &layer, &tx2);
+        cache.cost(&AclGemm::new(), &layer.with_c_out(92).unwrap(), &mali);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn tvm_logs_do_not_collide() {
+        use pruneperf_backends::tuning::TuningLog;
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let layer = l16().with_c_out(77).unwrap();
+        let stock_ms = cache.latency_ms(&Tvm::new(), &layer, &d);
+        let mut log = TuningLog::tophub(d.name());
+        log.autotune(&layer, 300);
+        let tuned_ms = cache.latency_ms(&Tvm::with_log(log), &layer, &d);
+        assert_ne!(stock_ms, tuned_ms, "autotuned entry must not be shadowed");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let base = l16();
+        let mut results: Vec<Vec<f64>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (1..=base.c_out())
+                            .map(|c| cache.latency_ms(&b, &base.with_c_out(c).unwrap(), &d))
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(cache.len(), base.c_out());
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * base.c_out() as u64);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+}

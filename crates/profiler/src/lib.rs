@@ -32,12 +32,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod curve;
 mod measurement;
 mod profiler;
 mod runner;
+pub mod sweep;
 mod timeline;
 
+pub use cache::{CacheStats, LatencyCache};
 pub use curve::{CurvePoint, LatencyCurve};
 pub use measurement::Measurement;
 pub use profiler::LayerProfiler;

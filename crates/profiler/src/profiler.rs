@@ -5,7 +5,7 @@ use pruneperf_backends::ConvBackend;
 use pruneperf_gpusim::{Device, Engine};
 use pruneperf_models::ConvLayerSpec;
 
-use crate::{CurvePoint, LatencyCurve, Measurement, Timeline};
+use crate::{sweep, CurvePoint, LatencyCache, LatencyCurve, Measurement, Timeline};
 
 /// Default number of runs per configuration (§III-D).
 const DEFAULT_RUNS: usize = 10;
@@ -93,8 +93,13 @@ impl LayerProfiler {
     }
 
     /// Measures one layer configuration (median of the configured runs).
+    ///
+    /// The deterministic base latency comes from the process-wide
+    /// [`LatencyCache`], so repeated sweeps over the same configurations
+    /// simulate each one only once; the seeded jitter is layered on top of
+    /// the cached value, which is bitwise-identical to an uncached run.
     pub fn measure(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> Measurement {
-        let base_ms = backend.latency_ms(layer, &self.device);
+        let base_ms = LatencyCache::global().latency_ms(backend, layer, &self.device);
         if !self.noise {
             return Measurement::from_runs(vec![base_ms]);
         }
@@ -106,9 +111,10 @@ impl LayerProfiler {
     }
 
     /// Modelled energy of one execution in millijoules (energy is a model
-    /// output, not a measured quantity, so it carries no jitter).
+    /// output, not a measured quantity, so it carries no jitter). Served
+    /// from the same cache entry as the latency.
     pub fn energy_mj(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> f64 {
-        backend.energy_mj(layer, &self.device)
+        LatencyCache::global().energy_mj(backend, layer, &self.device)
     }
 
     /// Intercepts a single execution: kernel timeline plus system counters
@@ -126,20 +132,24 @@ impl LayerProfiler {
     /// Sweeps the layer's channel count over `channels` and measures each
     /// configuration — one figure-style staircase curve.
     ///
-    /// Channel counts outside the layer's valid range are skipped.
+    /// Channel counts outside the layer's valid range are skipped. The
+    /// per-configuration measurements fan out across
+    /// [`sweep::sweep_jobs`] worker threads; every measurement is
+    /// deterministic and collected in channel order, so the curve is
+    /// identical at any worker count.
     pub fn latency_curve(
         &self,
         backend: &dyn ConvBackend,
         layer: &ConvLayerSpec,
         channels: std::ops::RangeInclusive<usize>,
     ) -> LatencyCurve {
-        let points: Vec<CurvePoint> = channels
-            .filter_map(|c| layer.with_c_out(c).ok())
-            .map(|pruned| CurvePoint {
+        let configs: Vec<ConvLayerSpec> =
+            channels.filter_map(|c| layer.with_c_out(c).ok()).collect();
+        let points: Vec<CurvePoint> =
+            sweep::ordered_parallel_map(&configs, sweep::sweep_jobs(), |pruned| CurvePoint {
                 channels: pruned.c_out(),
-                measurement: self.measure(backend, &pruned),
-            })
-            .collect();
+                measurement: self.measure(backend, pruned),
+            });
         LatencyCurve::new(
             layer.label().to_string(),
             backend.name().to_string(),
@@ -203,6 +213,18 @@ mod tests {
         let curve = p.latency_curve(&AclGemm::new(), &l16(), 120..=140);
         assert_eq!(curve.points().len(), 9);
         assert_eq!(curve.channel_range(), (120, 128));
+    }
+
+    #[test]
+    fn curve_is_identical_at_any_worker_count() {
+        let d = Device::mali_g72_hikey970();
+        let p = LayerProfiler::new(&d);
+        sweep::set_sweep_jobs(1);
+        let sequential = p.latency_curve(&AclGemm::new(), &l16(), 60..=128);
+        sweep::set_sweep_jobs(8);
+        let parallel = p.latency_curve(&AclGemm::new(), &l16(), 60..=128);
+        sweep::set_sweep_jobs(1);
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

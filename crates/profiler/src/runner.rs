@@ -10,9 +10,11 @@
 //! uses with “default OS” settings (§III-D).
 
 use pruneperf_backends::ConvBackend;
-use pruneperf_gpusim::{Device, Engine};
+use pruneperf_gpusim::Device;
 use pruneperf_models::Network;
 use serde::{Deserialize, Serialize};
+
+use crate::LatencyCache;
 
 /// Per-layer slice of a network run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,7 +42,8 @@ impl NetworkReport {
         &self.layers
     }
 
-    /// Total latency across the unique layers, ms.
+    /// Total latency over every recorded entry, ms. Entries appear in
+    /// network order and a repeated layer counts each time it appears.
     pub fn total_ms(&self) -> f64 {
         self.layers.iter().map(|l| l.ms).sum()
     }
@@ -52,11 +55,12 @@ impl NetworkReport {
 
     /// Average power over the run, milliwatts.
     pub fn average_power_mw(&self) -> f64 {
-        if self.total_ms() == 0.0 {
+        let total_ms = self.total_ms();
+        if total_ms == 0.0 {
             return 0.0;
         }
         // mJ / ms = W; × 1000 -> mW.
-        self.total_mj() / self.total_ms() * 1000.0
+        self.total_mj() / total_ms * 1000.0
     }
 
     /// Renders per-layer costs as CSV (`layer,ms,mj`).
@@ -102,18 +106,21 @@ impl NetworkRunner {
 
     /// Executes every unique conv layer of `network` once (deterministic,
     /// noise-free — aggregate statistics belong to `LayerProfiler`).
+    ///
+    /// Per-layer costs come from the process-wide [`LatencyCache`], so
+    /// repeated whole-network runs (e.g. thermal duty-cycle studies)
+    /// simulate each layer once.
     pub fn run(&self, backend: &dyn ConvBackend, network: &Network) -> NetworkReport {
-        let engine = Engine::new(&self.device);
+        let cache = LatencyCache::global();
         let layers = network
             .layers()
             .iter()
             .map(|l| {
-                let plan = backend.plan(l, &self.device);
-                let report = engine.run_chain(plan.chain());
+                let (ms, mj) = cache.cost(backend, l, &self.device);
                 LayerCost {
                     label: l.label().to_string(),
-                    ms: report.total_time_ms(),
-                    mj: report.total_energy_mj(),
+                    ms,
+                    mj,
                 }
             })
             .collect();

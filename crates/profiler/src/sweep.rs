@@ -1,0 +1,138 @@
+//! Worker-thread fan-out for embarrassingly parallel sweeps.
+//!
+//! The repo's workloads — channel staircases, speedup heatmaps, the 32
+//! repro experiments — are pure functions of their inputs, so they
+//! parallelize by index: fan the items out to a worker pool, collect each
+//! result into its input's slot, and the output order (and therefore every
+//! rendered table, figure and JSON file) is byte-identical to a sequential
+//! run regardless of scheduling.
+//!
+//! The worker count is a process-wide knob: binaries set it once from
+//! `--jobs` / `PRUNEPERF_JOBS` via [`set_sweep_jobs`], and every
+//! [`crate::LayerProfiler::latency_curve`] sweep picks it up without API
+//! changes in between.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "PRUNEPERF_JOBS";
+
+/// Process-wide sweep worker count; 0 means "not set" (sequential).
+static SWEEP_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolves a worker count from an explicit `--jobs` value, falling back to
+/// the `PRUNEPERF_JOBS` environment variable, then to all available cores.
+///
+/// Zero or unparsable values mean "pick for me" and resolve to the number
+/// of available cores.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| std::env::var(JOBS_ENV).ok().and_then(|v| v.parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Sets the process-wide worker count used by in-experiment sweeps.
+pub fn set_sweep_jobs(jobs: usize) {
+    SWEEP_JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide worker count; 1 (sequential) until a binary opts in.
+pub fn sweep_jobs() -> usize {
+    match SWEEP_JOBS.load(Ordering::Relaxed) {
+        0 => 1,
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on `jobs` worker threads, returning results in
+/// input order.
+///
+/// Workers claim indices from a shared atomic counter (cheap dynamic load
+/// balancing — sweep items vary wildly in cost) and deposit each result in
+/// its item's slot, so the output is identical to `items.iter().map(f)` no
+/// matter how the items interleave across threads.
+pub fn ordered_parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let sequential: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            assert_eq!(ordered_parallel_map(&items, jobs, |&x| x * x), sequential);
+        }
+        assert_eq!(ordered_parallel_map(&[] as &[usize], 4, |&x| x), vec![]);
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = ordered_parallel_map(&items, 4, |&x| {
+            // Early indices sleep longest, so late indices finish first.
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_jobs_beats_env_and_cores() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+        // Zero means "pick for me".
+        assert!(resolve_jobs(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn sweep_jobs_defaults_to_sequential() {
+        // Other tests may have set the knob; only assert the floor.
+        assert!(sweep_jobs() >= 1);
+        set_sweep_jobs(0);
+        assert_eq!(sweep_jobs(), 1);
+    }
+}

@@ -11,7 +11,7 @@ use pruneperf_core::accuracy::AccuracyModel;
 use pruneperf_core::{report, sensitivity, PerfAwarePruner, Staircase};
 use pruneperf_gpusim::{Device, Engine};
 use pruneperf_models::{alexnet, mobilenet_v1, resnet50, vgg16, Network};
-use pruneperf_profiler::{LayerProfiler, NetworkRunner, ThermalGovernor};
+use pruneperf_profiler::{sweep, LayerProfiler, NetworkRunner, ThermalGovernor};
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +117,9 @@ commands:
   report    --network N [--backend B] [--device D] [--budget F]
             markdown pruning-campaign report (staircases, plans, verdict)
 
+every command also accepts --jobs N: worker threads for channel sweeps
+(default: all cores; the PRUNEPERF_JOBS environment variable overrides)
+
 defaults: --backend acl-gemm, --device hikey970, --budget 0.8";
 
 /// Executes a command line (without the program name); returns the output
@@ -130,7 +133,15 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Err(err(USAGE));
     };
-    let flags = parse_flags(&args[1..])?;
+    let mut flags = parse_flags(&args[1..])?;
+    let jobs = match flags.remove("jobs") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| err("--jobs must be a non-negative integer"))?,
+        ),
+        None => None,
+    };
+    sweep::set_sweep_jobs(sweep::resolve_jobs(jobs));
     match command.as_str() {
         "devices" => Ok(cmd_devices()),
         "networks" => Ok(cmd_networks()),
@@ -478,6 +489,28 @@ mod tests {
         .unwrap();
         assert!(out.contains("# Pruning campaign"), "{out}");
         assert!(out.contains("## Verdict"), "{out}");
+    }
+
+    #[test]
+    fn jobs_flag_does_not_change_output() {
+        let base = ["profile", "--network", "alexnet", "--layer", "AlexNet.L6"];
+        let sequential = run(&{
+            let mut a = base.to_vec();
+            a.extend(["--jobs", "1"]);
+            a
+        })
+        .unwrap();
+        let parallel = run(&{
+            let mut a = base.to_vec();
+            a.extend(["--jobs", "4"]);
+            a
+        })
+        .unwrap();
+        assert_eq!(sequential, parallel);
+        assert!(run(&["profile", "--jobs", "many"])
+            .unwrap_err()
+            .0
+            .contains("--jobs"));
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! End-to-end checks of the parallel, cache-backed sweep engine: cached
+//! values are bitwise-identical to uncached simulator output, and worker
+//! count never changes any result.
+
+use pruneperf_backends::{AclGemm, ConvBackend, Cudnn};
+use pruneperf_gpusim::Device;
+use pruneperf_models::{alexnet, resnet50};
+use pruneperf_profiler::{sweep, LatencyCache, LayerProfiler, NetworkRunner};
+
+#[test]
+fn cached_latency_is_bitwise_equal_to_direct_simulation() {
+    let device = Device::mali_g72_hikey970();
+    let backend = AclGemm::new();
+    let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+    let cache = LatencyCache::new();
+    for c in 1..=layer.c_out() {
+        let pruned = layer.with_c_out(c).unwrap();
+        let direct = (
+            backend.latency_ms(&pruned, &device),
+            backend.energy_mj(&pruned, &device),
+        );
+        assert_eq!(cache.cost(&backend, &pruned, &device), direct, "c={c} miss");
+        assert_eq!(cache.cost(&backend, &pruned, &device), direct, "c={c} hit");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.entries, layer.c_out());
+    assert_eq!(stats.hits, layer.c_out() as u64);
+}
+
+#[test]
+fn profiler_through_cache_matches_paper_measurement_contract() {
+    let device = Device::jetson_tx2();
+    let backend = Cudnn::new();
+    let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+    // The noiseless profiler reports exactly one uncached-equivalent run.
+    let noiseless = LayerProfiler::noiseless(&device);
+    let m = noiseless.measure(&backend, &layer);
+    assert_eq!(m.median_ms(), backend.latency_ms(&layer, &device));
+    // Noisy measurements stay reproducible when served from cache.
+    let noisy = LayerProfiler::new(&device);
+    assert_eq!(
+        noisy.measure(&backend, &layer),
+        noisy.measure(&backend, &layer)
+    );
+}
+
+#[test]
+fn sweeps_are_worker_count_invariant() {
+    let device = Device::mali_g72_hikey970();
+    let backend = AclGemm::new();
+    let layer = alexnet().layer("AlexNet.L6").unwrap().clone();
+    let profiler = LayerProfiler::new(&device);
+    sweep::set_sweep_jobs(1);
+    let sequential = profiler.latency_curve(&backend, &layer, 1..=layer.c_out());
+    sweep::set_sweep_jobs(8);
+    let parallel = profiler.latency_curve(&backend, &layer, 1..=layer.c_out());
+    sweep::set_sweep_jobs(1);
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn network_runner_uses_the_shared_cache() {
+    let device = Device::mali_g72_hikey970();
+    let backend = AclGemm::new();
+    let before = LatencyCache::global().stats();
+    let a = NetworkRunner::new(&device).run(&backend, &alexnet());
+    let b = NetworkRunner::new(&device).run(&backend, &alexnet());
+    let after = LatencyCache::global().stats();
+    assert_eq!(a, b);
+    assert!(
+        after.hits >= before.hits + alexnet().layers().len() as u64,
+        "second run should be served from cache: {before:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn resolve_jobs_prefers_explicit_value() {
+    assert_eq!(sweep::resolve_jobs(Some(5)), 5);
+    assert!(sweep::resolve_jobs(None) >= 1);
+}

@@ -1,0 +1,195 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Implements the macro/builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::sample_size`,
+//! `bench_function`, `benchmark_group`, `bench_with_input`, `BenchmarkId`)
+//! with a plain median-of-N wall-clock harness instead of criterion's
+//! statistical machinery. Results print as `<id>: median <time> (N samples)`.
+//!
+//! When invoked by `cargo test` (which passes `--test` to `harness = false`
+//! bench targets) each benchmark body runs exactly once as a smoke check,
+//! matching real criterion's test-mode behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// True when the binary was invoked in cargo-test mode (`--test` flag).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id of the form `function/parameter`.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per configured iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let iterations = if test_mode() { 1 } else { sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(iterations),
+        iterations,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    println!(
+        "{id}: median {:?} ({} samples)",
+        median,
+        bencher.samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions with shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,751 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of proptest its property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_filter` / `prop_flat_map`, `Just`, range
+//! and tuple strategies, [`collection::vec`], [`arbitrary::any`],
+//! [`sample::Index`], `prop_oneof!`, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros over a deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from real proptest, deliberate for an offline deterministic
+//! reproduction:
+//!
+//! * no shrinking — cases are seeded per test name, so a failure replays
+//!   identically on every run and machine;
+//! * `.proptest-regressions` files are not consumed (the checked-in shrunk
+//!   cases are replayed as explicit unit tests instead);
+//! * `prop_assume!` rejections regenerate the whole case, bounded by a
+//!   global rejection cap.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG used by strategies (self-contained so the vendored
+/// crates have no inter-dependencies).
+pub mod rng {
+    /// xorshift64* stream seeded through splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds a generator from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            s = z ^ (z >> 31);
+            TestRng { state: s | 1 }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform index in `[0, n)`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// FNV-1a over bytes (stable per-test seeds).
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Value-generation strategies and combinators.
+pub mod strategy {
+    use super::rng::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// How many times a filter may reject before the test aborts.
+    const FILTER_MAX_RETRIES: usize = 10_000;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Regenerates until `f` accepts the value.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Generates a value, builds a second strategy from it, and draws
+        /// from that.
+        fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..FILTER_MAX_RETRIES {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected too many values", self.whence);
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return lo + rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f64, f32);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span.max(1)).min(span - 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            super::sample::Index::new(rng.next_u64())
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Index sampling (`prop::sample::Index`).
+pub mod sample {
+    /// A deferred index into a collection of unknown length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// From raw random bits.
+        pub fn new(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// The index this represents for a collection of `len` items.
+        ///
+        /// # Panics
+        ///
+        /// Panics on `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index(0)");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// Deterministic test runner.
+pub mod test_runner {
+    use super::rng::{fnv1a, TestRng};
+    use super::strategy::Strategy;
+
+    /// Cap on `prop_assume!`/global rejections per test.
+    const MAX_GLOBAL_REJECTS: usize = 65_536;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs — the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Runs one property over `config.cases` generated inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// A runner for the named test (the name seeds the RNG, so every
+        /// run generates the same case sequence).
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            TestRunner { config, name }
+        }
+
+        /// Generates inputs and applies `test` until `cases` pass.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the first failing case (no shrinking: generation is
+        /// deterministic, so the failure replays identically).
+        pub fn run<S: Strategy, F: FnMut(S::Value) -> Result<(), TestCaseError>>(
+            &self,
+            strategy: &S,
+            mut test: F,
+        ) {
+            let mut rng = TestRng::seed_from_u64(fnv1a(self.name.as_bytes()));
+            let mut passed: u32 = 0;
+            let mut rejected: usize = 0;
+            while passed < self.config.cases {
+                let case = strategy.generate(&mut rng);
+                match test(case) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(reason)) => {
+                        rejected += 1;
+                        if rejected > MAX_GLOBAL_REJECTS {
+                            panic!(
+                                "{}: too many prop_assume! rejections (last: {})",
+                                self.name, reason
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(message)) => {
+                        panic!(
+                            "{} failed at case {} (seeded by test name, rerun reproduces): {}",
+                            self.name, passed, message
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop` namespace (`prop::sample::Index` etc.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` block
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategy = ($($strat,)+);
+                let __runner = $crate::test_runner::TestRunner::new(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                __runner.run(&__strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the seeded case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), __l, __r,
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        let strat = (1usize..=100, 0.0f64..1.0);
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges respect bounds and filters hold.
+        #[test]
+        fn generated_values_in_bounds(
+            x in 3usize..=9,
+            f in 0.25f64..1.0,
+            v in crate::collection::vec(1u64..=5, 2..6),
+        ) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((0.25..1.0).contains(&f), "f out of range: {f}");
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            for item in &v {
+                prop_assert!((1..=5).contains(item));
+            }
+        }
+
+        /// prop_assume retries instead of failing.
+        #[test]
+        fn assume_rejects_cleanly(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        /// oneof picks only listed alternatives; Index stays in range.
+        #[test]
+        fn oneof_and_index(
+            k in prop_oneof![Just(1usize), Just(3usize)],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(k == 1 || k == 3);
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment is offline). Supports exactly the item shapes this
+//! workspace uses:
+//!
+//! * structs with named fields (any visibility), unit structs;
+//! * enums with unit, newtype and struct variants (externally tagged);
+//! * field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(with = "module")]`, `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Generics, tuple structs, renames and container attributes are
+//! intentionally unsupported and panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed item model.
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    with: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing.
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, returning the merged `#[serde(...)]`
+    /// entries (other attributes, e.g. doc comments, are skipped).
+    fn take_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            };
+            parse_attr_group(group.stream(), &mut attrs);
+        }
+        attrs
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips a type up to a top-level `,` (consumed) or end of stream.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parses the contents of one `[...]` attribute, merging any `serde(...)`
+/// entries into `attrs`.
+fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut cursor = Cursor::new(stream);
+    match cursor.peek() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {
+            cursor.next();
+        }
+        _ => return,
+    }
+    let inner = match cursor.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("serde derive: malformed #[serde] attribute: {other:?}"),
+    };
+    let mut c = Cursor::new(inner.stream());
+    while !c.at_end() {
+        let key = c.expect_ident("serde attribute name");
+        let value = match c.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                c.next();
+                match c.next() {
+                    Some(TokenTree::Literal(lit)) => Some(unquote(&lit.to_string())),
+                    other => panic!("serde derive: expected string literal, found {other:?}"),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("default", v) => attrs.default = Some(v),
+            ("with", Some(path)) => attrs.with = Some(path),
+            ("skip_serializing_if", Some(path)) => attrs.skip_serializing_if = Some(path),
+            (other, _) => panic!("serde derive: unsupported attribute `{other}`"),
+        }
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.next();
+            }
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.take_attrs();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        let name = cursor.expect_ident("field name");
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        cursor.skip_type();
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        let _attrs = cursor.take_attrs();
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.expect_ident("variant name");
+        let kind = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_top_level_comma = {
+                    let mut depth = 0usize;
+                    let mut found = false;
+                    let mut trailing = true;
+                    for t in g.stream() {
+                        trailing = false;
+                        match t {
+                            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => {
+                                depth = depth.saturating_sub(1);
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                                trailing = true;
+                                found = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    found && !trailing
+                };
+                if has_top_level_comma {
+                    panic!("serde derive: multi-field tuple variant `{name}` unsupported");
+                }
+                cursor.next();
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                cursor.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = cursor.peek() {
+            if p.as_char() == ',' {
+                cursor.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    let _container_attrs = cursor.take_attrs();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident("`struct` or `enum`");
+    let name = cursor.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are unsupported");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Vec::new()),
+            other => panic!("serde derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+    Item { name, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+
+fn gen_struct_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let access = format!("{}{}", access_prefix, f.name);
+        let value_expr = match &f.attrs.with {
+            Some(module) => format!(
+                "match {module}::serialize(&{access}, ::serde::ValueSerializer) {{ \
+                 ::std::result::Result::Ok(v) => v, \
+                 ::std::result::Result::Err(e) => \
+                 ::std::panic!(\"field `{name}` failed to serialize: {{}}\", e) }}",
+                name = f.name,
+            ),
+            None => format!("::serde::Serialize::to_value(&{access})"),
+        };
+        let push = format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), {value_expr}));\n",
+            name = f.name,
+        );
+        match &f.attrs.skip_serializing_if {
+            Some(predicate) => {
+                out.push_str(&format!("if !{predicate}(&{access}) {{ {push} }}\n"));
+            }
+            None => out.push_str(&push),
+        }
+    }
+    out.push_str("::serde::Value::Object(__fields) }");
+    out
+}
+
+/// One `field: <expr>` initializer reading from object `__v`.
+fn gen_field_init(f: &Field, container: &str) -> String {
+    let present = match &f.attrs.with {
+        Some(module) => {
+            format!("{module}::deserialize(::serde::ValueDeserializer(__f.clone()))?")
+        }
+        None => "::serde::Deserialize::from_value(__f)?".to_string(),
+    };
+    let missing = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::Error::msg(\
+             \"missing field `{name}` in {container}\"))",
+            name = f.name,
+        ),
+    };
+    format!(
+        "{name}: match __v.get(\"{name}\") {{ \
+         ::std::option::Option::Some(__f) => {present}, \
+         ::std::option::Option::None => {missing}, }},\n",
+        name = f.name,
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_to_value(fields, "self."),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n",
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__x0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_value(__x0))]),\n",
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = gen_struct_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => \
+                             ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binds = bindings.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&gen_field_init(f, name));
+            }
+            format!(
+                "if __v.as_object().is_none() {{ \
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected object for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})",
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n",
+                    )),
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n",
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&gen_field_init(f, name));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __v = __inner; \
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}) }}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"unknown variant for {name}\")),\n}};\n}}\n\
+                 if let ::std::option::Option::Some((__tag, __inner)) = __v.as_tagged() {{\n\
+                 return match __tag {{\n{tagged_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"unknown variant for {name}\")),\n}};\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::msg(\
+                 \"unrecognized value for {name}\"))",
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
