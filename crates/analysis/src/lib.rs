@@ -1,0 +1,45 @@
+//! Static analysis for the pruneperf workspace: structured diagnostics
+//! with two layers on top.
+//!
+//! - **Plan audit** ([`plan_audit`]): enumerates [`pruneperf_backends`]
+//!   dispatch plans across the paper's devices and a representative layer
+//!   grid and checks the paper-derived structural invariants (rules
+//!   `PA001`–`PA010`) — without running the simulation engine's timing.
+//! - **Source lint** ([`source_lint`]): a dependency-free token scanner
+//!   over the repository's own sources enforcing the determinism and
+//!   robustness conventions the reproduction relies on (rules
+//!   `SL001`–`SL006`).
+//!
+//! Both layers report through the shared [`Diagnostic`]/[`Report`] core in
+//! [`diag`], which renders human or JSON output in a canonical order so
+//! parallel runs are byte-identical. The rule catalog with stable ids
+//! lives in [`rules`]. The `pruneperf lint` CLI subcommand and the CI
+//! `lint` job drive [`run_full`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod plan_audit;
+pub mod rules;
+pub mod source_lint;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use plan_audit::{audit_paper_grid, audit_plan};
+pub use rules::{rule_info, RuleInfo, CATALOG};
+pub use source_lint::lint_sources;
+
+use std::io;
+use std::path::Path;
+
+/// Runs both layers — the plan audit over the paper grid and the source
+/// lint over `root` — and merges them into one report.
+///
+/// # Errors
+///
+/// Returns any I/O error from reading the source tree.
+pub fn run_full(root: &Path, jobs: usize) -> io::Result<Report> {
+    let mut report = audit_paper_grid(jobs);
+    report.merge(source_lint::lint_sources(root, jobs)?);
+    Ok(report)
+}

@@ -1,0 +1,192 @@
+//! The rule catalog: every check either layer can emit, with a stable id.
+//!
+//! Ids are load-bearing — they appear in JSON output, CI logs, tests and
+//! `DESIGN.md` — so they are append-only: never renumber, never reuse.
+//!
+//! To add a rule: pick the next free id in the right family, add a
+//! [`RuleInfo`] row here, implement the check in
+//! [`crate::plan_audit`] / [`crate::source_lint`] citing the id, and add at
+//! least one test that seeds a violation.
+
+use crate::diag::Severity;
+
+/// Catalog row for one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable id (`PA…` = plan audit, `SL…` = source lint).
+    pub id: &'static str,
+    /// Default severity of a violation.
+    pub severity: Severity,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+}
+
+/// ACL GEMM splits `gemm_mm` into main + own-submission remainder kernels
+/// exactly when the vec4 column-group parity rule says so (Tables I–IV).
+pub const PA001: &str = "PA001";
+/// ACL Direct's workgroup equals the Table V divisibility heuristic and
+/// edge lanes are predicated off (active accounting).
+pub const PA002: &str = "PA002";
+/// NDRange extents are positive and `local` divides the padded `global`;
+/// exact-tiling kernels divide the raw `global`.
+pub const PA003: &str = "PA003";
+/// `executed_items >= active_items` and instruction totals match the
+/// kernel's padded/active accounting mode.
+pub const PA004: &str = "PA004";
+/// Job chains are non-empty and every plan binds a positive memory
+/// footprint (the §III-C1 interceptor observes one for every kernel).
+pub const PA005: &str = "PA005";
+/// Staircase step edges are monotone: covered output channels never
+/// decrease as the channel count grows (within one algorithm choice).
+pub const PA006: &str = "PA006";
+/// cuDNN tiles output channels in 32-wide N-tiles with 32-thread blocks,
+/// and Winograd is gated to 3×3 stride-1 layers with ≥ 256 input channels.
+pub const PA007: &str = "PA007";
+/// ACL auto picks GEMM iff the GEMM working set fits the GPU heap
+/// (§IV-A2), and the emitted chain matches the choice.
+pub const PA008: &str = "PA008";
+/// No workgroup exceeds the device's resident-thread capacity.
+pub const PA009: &str = "PA009";
+/// TVM emits a single fused kernel; tuned schedules use the GEMM-style
+/// 4×4 tiling, fallback schedules the direct-style shape with active
+/// accounting.
+pub const PA010: &str = "PA010";
+
+/// No wall-clock reads (`Instant`/`SystemTime`) in simulator or profiler
+/// paths — time must come from the deterministic engine.
+pub const SL001: &str = "SL001";
+/// No ad-hoc RNG (`thread_rng`, `from_entropy`) — randomness must be
+/// seeded and explicit.
+pub const SL002: &str = "SL002";
+/// No `HashMap`/`HashSet` iteration feeding ordered output or float
+/// accumulation — iteration order is run-to-run nondeterministic.
+pub const SL003: &str = "SL003";
+/// Every crate root carries `#![forbid(unsafe_code)]`.
+pub const SL004: &str = "SL004";
+/// No `unwrap()`/`expect()` in non-test library code outside the
+/// allowlist; provably-infallible sites carry a `// lint: allow(unwrap)`
+/// marker.
+pub const SL005: &str = "SL005";
+/// Public items in `gpusim` and `backends` carry doc comments.
+pub const SL006: &str = "SL006";
+
+/// Every rule either layer can emit.
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: PA001,
+        severity: Severity::Error,
+        summary: "ACL GEMM two-kernel split fires iff the column-group parity rule says so",
+    },
+    RuleInfo {
+        id: PA002,
+        severity: Severity::Error,
+        summary: "ACL Direct workgroup matches the Table V divisibility heuristic",
+    },
+    RuleInfo {
+        id: PA003,
+        severity: Severity::Error,
+        summary: "local NDRange dims divide the padded global dims",
+    },
+    RuleInfo {
+        id: PA004,
+        severity: Severity::Error,
+        summary: "executed_items >= active_items with consistent padded accounting",
+    },
+    RuleInfo {
+        id: PA005,
+        severity: Severity::Error,
+        summary: "job chains are non-empty with positive memory footprints",
+    },
+    RuleInfo {
+        id: PA006,
+        severity: Severity::Error,
+        summary: "staircase step edges are monotone in the channel count",
+    },
+    RuleInfo {
+        id: PA007,
+        severity: Severity::Error,
+        summary: "cuDNN 32-channel N-tiling and Winograd gating hold",
+    },
+    RuleInfo {
+        id: PA008,
+        severity: Severity::Error,
+        summary: "ACL auto method choice follows the GPU-heap memory rule",
+    },
+    RuleInfo {
+        id: PA009,
+        severity: Severity::Error,
+        summary: "workgroups fit the device's resident-thread capacity",
+    },
+    RuleInfo {
+        id: PA010,
+        severity: Severity::Error,
+        summary: "TVM emits a single fused kernel matching its schedule kind",
+    },
+    RuleInfo {
+        id: SL001,
+        severity: Severity::Error,
+        summary: "no wall-clock reads in simulator/profiler paths",
+    },
+    RuleInfo {
+        id: SL002,
+        severity: Severity::Error,
+        summary: "no ad-hoc RNG outside seeded, explicit generators",
+    },
+    RuleInfo {
+        id: SL003,
+        severity: Severity::Error,
+        summary: "no HashMap/HashSet iteration feeding ordered output or float sums",
+    },
+    RuleInfo {
+        id: SL004,
+        severity: Severity::Error,
+        summary: "every crate root forbids unsafe code",
+    },
+    RuleInfo {
+        id: SL005,
+        severity: Severity::Warning,
+        summary: "no unmarked unwrap()/expect() in non-test library code",
+    },
+    RuleInfo {
+        id: SL006,
+        severity: Severity::Warning,
+        summary: "public items in gpusim/backends carry doc comments",
+    },
+];
+
+/// Looks up a rule's catalog row.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    CATALOG.iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_well_formed() {
+        for (i, r) in CATALOG.iter().enumerate() {
+            assert!(r.id.starts_with("PA") || r.id.starts_with("SL"), "{}", r.id);
+            assert_eq!(r.id.len(), 5, "{}", r.id);
+            for other in &CATALOG[i + 1..] {
+                assert_ne!(r.id, other.id);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_rules() {
+        assert_eq!(rule_info(PA001).map(|r| r.severity), Some(Severity::Error));
+        assert_eq!(
+            rule_info(SL005).map(|r| r.severity),
+            Some(Severity::Warning)
+        );
+        assert!(rule_info("ZZ999").is_none());
+    }
+
+    #[test]
+    fn at_least_six_plan_rules() {
+        // The acceptance floor for paper-derived plan invariants.
+        assert!(CATALOG.iter().filter(|r| r.id.starts_with("PA")).count() >= 6);
+    }
+}

@@ -1,0 +1,17 @@
+//! A clean fixture crate root: every source rule is satisfied.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Sums values in key order, so the float total is reproducible.
+pub fn ordered_sum(per_ms: &HashMap<String, f64>) -> f64 {
+    let mut entries: Vec<(&String, f64)> = per_ms.iter().map(|(k, &v)| (k, v)).collect();
+    entries.sort();
+    entries.iter().map(|(_, v)| v).sum()
+}
+
+/// Returns the value or a default — no panic path.
+pub fn safe(v: Option<usize>) -> usize {
+    v.unwrap_or(0)
+}

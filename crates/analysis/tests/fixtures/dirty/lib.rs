@@ -1,0 +1,27 @@
+// A deliberately dirty fixture crate root. The missing forbid-unsafe
+// attribute seeds SL004; the items below seed one finding per source
+// rule. These files are never compiled — the lint reads them as text.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn timing_leak() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Sums values in hash order (SL003) — float sums are order-sensitive.
+pub fn hash_order_sum(per_ms: &HashMap<String, f64>) -> f64 {
+    per_ms.values().sum()
+}
+
+/// Draws from an ad-hoc RNG (SL002).
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+/// Panics on None (SL005).
+pub fn risky(v: Option<usize>) -> usize {
+    v.unwrap()
+}

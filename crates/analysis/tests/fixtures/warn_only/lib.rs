@@ -1,0 +1,9 @@
+//! A fixture crate root whose only findings are warnings (SL005): clean
+//! under the default lint, failing under `--deny-warnings`.
+
+#![forbid(unsafe_code)]
+
+/// Panics on None — a warning-severity robustness finding.
+pub fn risky(v: Option<usize>) -> usize {
+    v.unwrap()
+}

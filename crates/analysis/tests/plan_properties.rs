@@ -1,0 +1,87 @@
+//! Property-based checks of the plan auditor: every plan a real backend
+//! emits over randomized layer shapes passes the audit on every device,
+//! and a corrupted plan is rejected.
+
+use proptest::prelude::*;
+use pruneperf_analysis::plan_audit::{audit_plan, audited_backends};
+use pruneperf_analysis::rules;
+use pruneperf_backends::DispatchPlan;
+use pruneperf_gpusim::{Device, Job, JobChain, KernelDesc};
+use pruneperf_models::ConvLayerSpec;
+
+fn devices() -> [Device; 4] {
+    [
+        Device::mali_g72_hikey970(),
+        Device::mali_t628_odroidxu4(),
+        Device::jetson_tx2(),
+        Device::jetson_nano(),
+    ]
+}
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayerSpec> {
+    (
+        prop_oneof![Just(1usize), Just(3usize), Just(5usize)], // kernel
+        1usize..=2,                                            // stride
+        7usize..=32,                                           // spatial
+        1usize..=128,                                          // c_in
+        1usize..=512,                                          // c_out
+    )
+        .prop_map(|(k, s, hw, ci, co)| {
+            let pad = k / 2;
+            ConvLayerSpec::new("Prop.audit", k, s, pad, ci, co, hw, hw)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The auditor accepts what the backends actually produce: no rule
+    /// fires on any genuine plan, across all five backends and all four
+    /// paper devices.
+    #[test]
+    fn every_real_plan_passes_the_audit(layer in layer_strategy()) {
+        for device in &devices() {
+            for backend in &audited_backends() {
+                let plan = backend.plan(&layer, device);
+                let findings = audit_plan(backend.name(), &plan, &layer, device);
+                prop_assert!(
+                    findings.is_empty(),
+                    "{} on {} for {layer}: {findings:?}",
+                    backend.name(),
+                    device.name(),
+                );
+            }
+        }
+    }
+}
+
+/// A hand-corrupted split plan — a `gemm_mm` whose local y-extent does not
+/// exactly tile its global — is rejected with PA003, on every device.
+#[test]
+fn corrupted_plan_is_rejected_everywhere() {
+    let layer = ConvLayerSpec::new("Prop.corrupt", 1, 1, 0, 64, 92, 14, 14);
+    let bad_main = KernelDesc::builder("gemm_mm")
+        .global([49, 5, 1])
+        .local([4, 4, 1])
+        .arith_per_item(1)
+        .footprint_bytes(64)
+        .build();
+    let rem = KernelDesc::builder("gemm_mm")
+        .global([49, 3, 1])
+        .local([4, 3, 1])
+        .arith_per_item(1)
+        .footprint_bytes(64)
+        .build();
+    for device in &devices() {
+        let mut chain = JobChain::new();
+        chain.push(Job::new(bad_main.clone()));
+        chain.push(Job::with_own_submission(rem.clone()));
+        let plan = DispatchPlan::new("ACL GEMM", "gemm", chain);
+        let findings = audit_plan("ACL GEMM", &plan, &layer, device);
+        assert!(
+            findings.iter().any(|d| d.rule == rules::PA003),
+            "on {}: {findings:?}",
+            device.name()
+        );
+    }
+}

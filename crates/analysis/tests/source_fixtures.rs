@@ -1,0 +1,60 @@
+//! The source lint over the checked-in fixture trees: the dirty tree
+//! trips every source rule, the clean tree trips none, and the rendered
+//! report is independent of the worker count.
+
+use std::path::PathBuf;
+
+use pruneperf_analysis::{lint_sources, rules, Severity};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn dirty_fixture_trips_every_source_rule() {
+    let report = lint_sources(&fixture("dirty"), 1).expect("fixture tree readable");
+    for rule in [
+        rules::SL001,
+        rules::SL002,
+        rules::SL003,
+        rules::SL004,
+        rules::SL005,
+        rules::SL006,
+    ] {
+        assert!(
+            report.diagnostics().iter().any(|d| d.rule == rule),
+            "expected a {rule} finding:\n{}",
+            report.render_human()
+        );
+    }
+    assert!(report.errors() > 0);
+    assert_eq!(report.plans_audited, 0);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = lint_sources(&fixture("clean"), 1).expect("fixture tree readable");
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn warn_only_fixture_has_warnings_but_no_errors() {
+    let report = lint_sources(&fixture("warn_only"), 1).expect("fixture tree readable");
+    assert_eq!(report.errors(), 0, "{}", report.render_human());
+    assert!(report.warnings() > 0);
+    assert!(report
+        .diagnostics()
+        .iter()
+        .all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
+fn fixture_reports_are_identical_across_worker_counts() {
+    let sequential = lint_sources(&fixture("dirty"), 1).expect("fixture tree readable");
+    let parallel = lint_sources(&fixture("dirty"), 8).expect("fixture tree readable");
+    assert_eq!(sequential.render_json(), parallel.render_json());
+    assert_eq!(sequential.render_human(), parallel.render_human());
+}

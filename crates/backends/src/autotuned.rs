@@ -57,14 +57,19 @@ impl AclDirectTuned {
     /// simulated time in µs.
     pub fn tune(layer: &ConvLayerSpec, device: &Device) -> ([usize; 3], f64) {
         let engine = Engine::new(device);
-        Self::candidates(layer)
-            .into_iter()
-            .map(|wg| {
-                let kernel = AclDirect::kernel_with_workgroup(layer, wg);
-                (wg, engine.kernel_time_us(&kernel))
-            })
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("candidate grid is never empty")
+        let time = |wg| engine.kernel_time_us(&AclDirect::kernel_with_workgroup(layer, wg));
+        // The candidate grid always opens with the library heuristic, so
+        // the search folds from a seeded best infallibly; `<=` keeps
+        // min_by's later-candidate-wins tie behavior.
+        let heuristic = AclDirect::workgroup_for(layer.c_out());
+        let mut best = (heuristic, time(heuristic));
+        for wg in Self::candidates(layer).into_iter().skip(1) {
+            let t = time(wg);
+            if t <= best.1 {
+                best = (wg, t);
+            }
+        }
+        best
     }
 }
 

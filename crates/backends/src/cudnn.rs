@@ -108,6 +108,9 @@ impl Cudnn {
                     .local([32, 1, 1])
                     .arith_per_item(64)
                     .mem_per_item(16)
+                    // The precomputed gather-index table: one offset per
+                    // im2col row strip.
+                    .footprint_bytes((m_tiles * M_TILE * 4) as u64)
                     .build(),
             ));
         }
@@ -138,12 +141,19 @@ impl Cudnn {
         let tiles = out_h.div_ceil(2) * out_w.div_ceil(2);
         let c_in = layer.c_in();
         let c_out = layer.c_out();
+        // F(2x2, 3x3): each tile transforms to a 4x4 patch, so the
+        // transformed domain holds 16 floats per (tile, channel) pair.
+        let input_bytes = (layer.h_in() * layer.w_in() * c_in * 4) as u64;
+        let domain_in_bytes = (16 * tiles * c_in * 4) as u64;
+        let domain_out_bytes = (16 * tiles * c_out * 4) as u64;
+        let weights_bytes = (16 * c_in * c_out * 4) as u64;
         let transform_in = KernelDesc::builder("winograd_transform_input")
             .global([tiles, c_in.div_ceil(4), 1])
             .local([32, 1, 1])
             .arith_per_item(4 * 64)
             .mem_per_item(4 * 32)
             .cache_hit(0.5)
+            .footprint_bytes(input_bytes + domain_in_bytes)
             .build();
         // 16 independent batched GEMMs over the transformed domain; channel
         // tiling stays at 32 so the staircase step width is unchanged.
@@ -154,6 +164,7 @@ impl Cudnn {
             .mem_per_item(2 * c_in as u64)
             .cache_hit(0.75)
             .exec_efficiency(0.30)
+            .footprint_bytes(domain_in_bytes + weights_bytes + domain_out_bytes)
             .build();
         let transform_out = KernelDesc::builder("winograd_transform_output")
             .global([tiles, c_out.div_ceil(4), 1])
@@ -161,6 +172,7 @@ impl Cudnn {
             .arith_per_item(4 * 48)
             .mem_per_item(4 * 20)
             .cache_hit(0.5)
+            .footprint_bytes(domain_out_bytes + (out_h * out_w * c_out * 4) as u64)
             .build();
         JobChain::from_kernels(vec![transform_in, gemm, transform_out])
     }
@@ -175,15 +187,21 @@ impl Cudnn {
     /// The algorithm `cudnnFind` would return: fastest measured candidate.
     pub fn select_algorithm(layer: &ConvLayerSpec, device: &Device) -> CudnnAlgorithm {
         let engine = Engine::new(device);
-        Self::candidates(layer)
-            .into_iter()
-            .map(|a| {
-                let t = engine.run_chain(&Self::chain_for(layer, a)).total_time_us();
-                (a, t)
-            })
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(a, _)| a)
-            .expect("candidate list is never empty")
+        let time = |a| engine.run_chain(&Self::chain_for(layer, a)).total_time_us();
+        // The candidate list always opens with ImplicitGemm (availability
+        // rules), so the search folds from a seeded best infallibly; `<=`
+        // keeps min_by's later-candidate-wins tie behavior.
+        let mut best = (
+            CudnnAlgorithm::ImplicitGemm,
+            time(CudnnAlgorithm::ImplicitGemm),
+        );
+        for a in Self::candidates(layer).into_iter().skip(1) {
+            let t = time(a);
+            if t <= best.1 {
+                best = (a, t);
+            }
+        }
+        best.0
     }
 }
 

@@ -45,9 +45,11 @@ mod acl_gemm;
 mod autotuned;
 mod cudnn;
 mod plan;
+/// Persistent auto-tuning logs (workload keys, schedules, JSON round-trip).
 pub mod tuning;
 mod tvm;
 
+/// Small deterministic hashing utilities (FNV-1a) shared across crates.
 pub mod hash;
 
 pub use acl_auto::{AclAuto, AclMethod};

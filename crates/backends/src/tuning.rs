@@ -95,6 +95,7 @@ mod override_entries {
     use super::*;
     use serde::{Deserializer, Serializer};
 
+    /// Serializes the override map as a key-sorted list of pairs.
     pub fn serialize<S: Serializer>(
         map: &HashMap<WorkloadKey, Schedule>,
         ser: S,
@@ -104,6 +105,7 @@ mod override_entries {
         serde::Serialize::serialize(&entries, ser)
     }
 
+    /// Rebuilds the override map from the serialized pair list.
     pub fn deserialize<'de, D: Deserializer<'de>>(
         de: D,
     ) -> Result<HashMap<WorkloadKey, Schedule>, D::Error> {

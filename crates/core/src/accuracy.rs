@@ -114,8 +114,13 @@ impl AccuracyModel {
     /// Panics if a label is unknown or a count is invalid — the pruner
     /// constructs these maps from the same catalog, so mismatches are bugs.
     pub fn accuracy_with(&self, kept_channels: &HashMap<String, usize>) -> f64 {
+        // Accumulate in label order: float sums are order-sensitive, and
+        // hash-order iteration would vary the result across processes.
+        let mut entries: Vec<(&String, usize)> =
+            kept_channels.iter().map(|(l, &k)| (l, k)).collect();
+        entries.sort();
         let mut loss = 0.0;
-        for (label, &kept) in kept_channels {
+        for (label, kept) in entries {
             let mass = self
                 .pruned_mass(label, kept)
                 .unwrap_or_else(|| panic!("invalid pruning config for {label}: keep {kept}"));

@@ -169,6 +169,7 @@ fn build(
         // Latency at every pruned count from 1..=max_d (where valid).
         let ratios: Vec<f64> = (1..=max_d.min(layer.c_out().saturating_sub(1)))
             .map(|p| {
+                // lint: allow(unwrap) — p is capped at c_out - 1 by the range above
                 let pruned = layer.pruned_by(p).expect("distance checked");
                 let t = profiler.measure(backend, &pruned).median_ms();
                 match kind {

@@ -78,6 +78,7 @@ fn plan_cost(
         .iter()
         .map(|l| {
             let c = kept.get(l.label()).copied().unwrap_or_else(|| l.c_out());
+            // lint: allow(unwrap) — kept counts never exceed the catalog c_out
             let layer = l.with_c_out(c).expect("keep count validated");
             (
                 profiler.measure(backend, &layer).median_ms(),
@@ -176,7 +177,14 @@ impl<'a> PerfAwarePruner<'a> {
                 )
             })
             .collect();
-        let total0: f64 = per_layer_ms.values().sum();
+        // Sum and search in catalog order, not hash order: float sums are
+        // order-sensitive and the greedy's `>` tie-break keeps the first
+        // candidate seen, so hash-order iteration would vary across runs.
+        let total0: f64 = network
+            .layers()
+            .iter()
+            .map(|l| per_layer_ms[l.label()])
+            .sum();
         let budget = total0 * budget_fraction;
         let mut total = total0;
         let mut acc = self.accuracy.accuracy_with(&kept);
@@ -184,7 +192,9 @@ impl<'a> PerfAwarePruner<'a> {
         while total > budget {
             // Best next move: largest latency saved per accuracy lost.
             let mut best: Option<(String, usize, f64, f64, f64)> = None; // label, c, ms, d_lat, d_acc
-            for (label, ladder) in &ladders {
+            for layer in network.layers() {
+                let label = layer.label();
+                let ladder = &ladders[label];
                 let cur_c = kept[label];
                 let cur_ms = per_layer_ms[label];
                 // Next candidate strictly below the current count that saves time.
@@ -194,13 +204,13 @@ impl<'a> PerfAwarePruner<'a> {
                     .find(|&&(c, ms)| c < cur_c && ms < cur_ms);
                 if let Some(&(c, ms)) = next {
                     let mut trial = kept.clone();
-                    trial.insert(label.clone(), c);
+                    trial.insert(label.to_string(), c);
                     let new_acc = self.accuracy.accuracy_with(&trial);
                     let d_lat = cur_ms - ms;
                     let d_acc = (acc - new_acc).max(1e-9);
                     let score = d_lat / d_acc;
                     if best.as_ref().is_none_or(|b| score > b.3 / b.4) {
-                        best = Some((label.clone(), c, ms, d_lat, d_acc));
+                        best = Some((label.to_string(), c, ms, d_lat, d_acc));
                     }
                 }
             }
@@ -260,34 +270,42 @@ impl<'a> PerfAwarePruner<'a> {
             .iter()
             .map(|l| (l.label().to_string(), self.profiler.energy_mj(backend, l)))
             .collect();
-        let total0: f64 = per_layer_mj.values().sum();
+        // Catalog-order sum and search, as in `prune_to_latency`: hash-order
+        // iteration would make the float total and greedy tie-breaks vary
+        // across runs.
+        let total0: f64 = network
+            .layers()
+            .iter()
+            .map(|l| per_layer_mj[l.label()])
+            .sum();
         let budget = total0 * budget_fraction;
         let mut total = total0;
         let mut acc = self.accuracy.accuracy_with(&kept);
 
         while total > budget {
             let mut best: Option<(String, usize, f64, f64, f64)> = None;
-            for (label, ladder) in &ladders {
+            for layer in network.layers() {
+                let label = layer.label();
+                let ladder = &ladders[label];
                 let cur_c = kept[label];
                 let cur_mj = per_layer_mj[label];
-                let layer = network.layer(label).expect("ladder key from catalog");
                 let next = ladder.iter().rev().find_map(|&(c, _)| {
                     if c >= cur_c {
                         return None;
                     }
-                    let mj = self
-                        .profiler
-                        .energy_mj(backend, &layer.with_c_out(c).expect("ladder in range"));
+                    // lint: allow(unwrap) — ladder counts come from 1..=c_out
+                    let pruned = layer.with_c_out(c).expect("ladder in range");
+                    let mj = self.profiler.energy_mj(backend, &pruned);
                     (mj < cur_mj).then_some((c, mj))
                 });
                 if let Some((c, mj)) = next {
                     let mut trial = kept.clone();
-                    trial.insert(label.clone(), c);
+                    trial.insert(label.to_string(), c);
                     let new_acc = self.accuracy.accuracy_with(&trial);
                     let d_energy = cur_mj - mj;
                     let d_acc = (acc - new_acc).max(1e-9);
                     if best.as_ref().is_none_or(|b| d_energy / d_acc > b.3 / b.4) {
-                        best = Some((label.clone(), c, mj, d_energy, d_acc));
+                        best = Some((label.to_string(), c, mj, d_energy, d_acc));
                     }
                 }
             }

@@ -33,11 +33,16 @@ pub struct Shootout {
 
 impl Shootout {
     /// Measures every backend on every layer of `network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty — a comparison needs contestants.
     pub fn run(
         profiler: &LayerProfiler,
         backends: &[Box<dyn ConvBackend>],
         network: &Network,
     ) -> Self {
+        assert!(!backends.is_empty(), "shootout needs at least one backend");
         let rows = network
             .layers()
             .iter()
@@ -51,6 +56,7 @@ impl Shootout {
                     .enumerate()
                     .min_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
+                    // lint: allow(unwrap) — `run` asserts backends is non-empty
                     .expect("at least one backend");
                 ShootoutRow {
                     label: layer.label().to_string(),
@@ -98,10 +104,16 @@ impl Shootout {
     }
 
     /// The best single-backend total latency and its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shootout with no backends (only constructible by
+    /// deserializing a degenerate report; [`Shootout::run`] asserts).
     pub fn best_single_backend(&self) -> (usize, f64) {
         (0..self.backend_names.len())
             .map(|i| (i, self.rows.iter().map(|r| r.ms[i]).sum::<f64>()))
             .min_by(|a, b| a.1.total_cmp(&b.1))
+            // lint: allow(unwrap) — `run` asserts backends is non-empty
             .expect("at least one backend")
     }
 }

@@ -97,6 +97,7 @@ impl<'d> Engine<'d> {
         // Work in integer milli-cycles to keep the heap ordering total.
         for &cost in wg_costs {
             let step = (cost * 1024.0).round() as u64;
+            // lint: allow(unwrap) — one entry per core, every pop is re-pushed
             let Reverse(t) = heap.pop().expect("cores is non-zero");
             heap.push(Reverse(t + step));
         }

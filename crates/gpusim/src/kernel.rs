@@ -81,6 +81,12 @@ impl KernelDesc {
         self.footprint_bytes
     }
 
+    /// Whether padded edge lanes count toward the instruction totals (see
+    /// [`KernelBuilder::padded_accounting`]).
+    pub fn padded_accounting(&self) -> bool {
+        self.padded_accounting
+    }
+
     /// Workgroups per NDRange dimension (`ceil(global / local)`).
     pub fn workgroup_dims(&self) -> [usize; 3] {
         [

@@ -104,6 +104,7 @@ impl ChainTrace {
                 let idx = kernel_order
                     .iter()
                     .position(|k| *k == s.kernel)
+                    // lint: allow(unwrap) — kernel_order is built from these spans
                     .expect("kernel registered above");
                 let glyph = (b'a' + (idx % 26) as u8) as char;
                 for slot in row.iter_mut().take(to).skip(from) {

@@ -93,6 +93,7 @@ impl FullNetwork {
         for op in &self.ops {
             match op {
                 LayerOp::Conv(spec) => {
+                    // lint: allow(unwrap) — specs were validated by ConvLayerSpec::new
                     let flops = spec.dims().flops().expect("catalog geometry valid");
                     out.push((spec.label().to_string(), flops, true));
                     hw = spec.out_hw().0;
@@ -144,6 +145,7 @@ impl FullNetwork {
                     if let Some(proj) = projection {
                         out.push((
                             proj.label().to_string(),
+                            // lint: allow(unwrap) — specs were validated by ConvLayerSpec::new
                             proj.dims().flops().expect("catalog geometry valid"),
                             true,
                         ));

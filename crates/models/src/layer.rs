@@ -51,6 +51,10 @@ impl ConvLayerSpec {
             kernel > 0 && stride > 0 && c_in > 0 && c_out > 0 && h_in > 0 && w_in > 0,
             "layer extents must be non-zero"
         );
+        assert!(
+            h_in + 2 * pad >= kernel && w_in + 2 * pad >= kernel,
+            "kernel must fit the padded input"
+        );
         ConvLayerSpec {
             label: label.into(),
             kernel,
@@ -160,6 +164,7 @@ impl ConvLayerSpec {
     pub fn out_hw(&self) -> (usize, usize) {
         self.dims()
             .out_hw()
+            // lint: allow(unwrap) — `new` asserts the kernel fits the padded input
             .expect("catalog layer geometry is valid")
     }
 
@@ -180,6 +185,7 @@ impl ConvLayerSpec {
 
     /// Multiply–accumulate count of the layer.
     pub fn macs(&self) -> u64 {
+        // lint: allow(unwrap) — `new` asserts the kernel fits the padded input
         self.dims().macs().expect("catalog layer geometry is valid")
     }
 

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use pruneperf_backends::hash::fnv1a;
 use pruneperf_backends::ConvBackend;
@@ -199,7 +199,10 @@ impl LatencyCache {
         // shard split would cluster every shard's keys.
         let shard = &self.shards[(digest >> 60) as usize & (SHARDS - 1)];
         {
-            let table = shard.lock().expect("cache shard poisoned");
+            // Recover from poisoning: shard entries are pure memoized
+            // values, inserted whole under the lock, so a panicked holder
+            // cannot have left a torn state.
+            let table = shard.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(bucket) = table.get(&digest) {
                 if let Some((_, cached)) = bucket
                     .iter()
@@ -219,7 +222,7 @@ impl LatencyCache {
             device: device.name().to_string(),
             layer: layer.clone(),
         };
-        let mut table = shard.lock().expect("cache shard poisoned");
+        let mut table = shard.lock().unwrap_or_else(PoisonError::into_inner);
         let bucket = table.entry(digest).or_default();
         if !bucket
             .iter()
@@ -265,7 +268,7 @@ impl LatencyCache {
             .iter()
             .map(|s| {
                 s.lock()
-                    .expect("cache shard poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .values()
                     .map(Vec::len)
                     .sum::<usize>()
@@ -282,7 +285,7 @@ impl LatencyCache {
     /// processes that switch workloads).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);

@@ -86,7 +86,9 @@ impl LatencyCurve {
     /// Smallest and largest profiled channel counts.
     pub fn channel_range(&self) -> (usize, usize) {
         (
+            // lint: allow(unwrap) — `new` asserts at least one point
             self.points.first().expect("non-empty").channels,
+            // lint: allow(unwrap) — `new` asserts at least one point
             self.points.last().expect("non-empty").channels,
         )
     }

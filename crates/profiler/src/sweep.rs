@@ -84,6 +84,7 @@ where
             })
             .collect();
         for handle in handles {
+            // lint: allow(unwrap) — propagating a worker panic is the intent
             for (i, r) in handle.join().expect("sweep worker panicked") {
                 slots[i] = Some(r);
             }
@@ -91,6 +92,7 @@ where
     });
     slots
         .into_iter()
+        // lint: allow(unwrap) — the atomic counter hands out each index once
         .map(|slot| slot.expect("every index was claimed exactly once"))
         .collect()
 }

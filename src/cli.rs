@@ -116,6 +116,9 @@ commands:
             per-layer latency/accuracy response at 75/50/25% kept channels
   report    --network N [--backend B] [--device D] [--budget F]
             markdown pruning-campaign report (staircases, plans, verdict)
+  lint      [--json] [--deny-warnings] [--root PATH]
+            static analysis: audit every backend's dispatch plans against
+            the paper invariants and lint the sources for determinism
 
 every command also accepts --jobs N: worker threads for channel sweeps
 (default: all cores; the PRUNEPERF_JOBS environment variable overrides)
@@ -133,6 +136,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Err(err(USAGE));
     };
+    if command == "lint" {
+        // `lint` takes boolean flags, which `parse_flags` (strict
+        // `--key value` pairs) cannot express.
+        return cmd_lint(&args[1..]);
+    }
     let mut flags = parse_flags(&args[1..])?;
     let jobs = match flags.remove("jobs") {
         Some(v) => Some(
@@ -341,6 +349,50 @@ fn cmd_sensitivity(flags: &HashMap<String, String>) -> Result<String, CliError> 
         ));
     }
     Ok(out)
+}
+
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => {
+                let v = it.next().ok_or_else(|| err("flag --root needs a value"))?;
+                root = Some(v.clone());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| err("flag --jobs needs a value"))?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| err("--jobs must be a non-negative integer"))?,
+                );
+            }
+            other => {
+                return Err(err(format!(
+                    "unexpected argument '{other}' (lint takes --json, --deny-warnings, --root PATH, --jobs N)"
+                )))
+            }
+        }
+    }
+    sweep::set_sweep_jobs(sweep::resolve_jobs(jobs));
+    let root = root.unwrap_or_else(|| env!("CARGO_MANIFEST_DIR").to_string());
+    let report = pruneperf_analysis::run_full(std::path::Path::new(&root), sweep::sweep_jobs())
+        .map_err(|e| err(format!("lint: cannot read sources under '{root}': {e}")))?;
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if report.errors() > 0 || (deny_warnings && report.warnings() > 0) {
+        Err(CliError(rendered))
+    } else {
+        Ok(rendered)
+    }
 }
 
 fn cmd_report(flags: &HashMap<String, String>) -> Result<String, CliError> {

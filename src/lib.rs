@@ -34,6 +34,8 @@
 //! assert!(!staircase.optimal_points().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 
 pub use pruneperf_backends as backends;

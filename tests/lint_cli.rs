@@ -1,0 +1,58 @@
+//! End-to-end behaviour of `pruneperf lint`: clean on this tree, golden
+//! (byte-identical) across worker counts and consecutive runs, and a
+//! nonzero exit when a fixture seeds violations.
+
+use pruneperf::cli::{run_cli, CliError};
+
+fn run(args: &[&str]) -> Result<String, CliError> {
+    let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run_cli(&v)
+}
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/crates/analysis/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// The repository's own tree passes its lint, and the JSON report is
+/// byte-identical across `--jobs 1` and `--jobs 8` and across two
+/// consecutive runs — the golden determinism contract.
+#[test]
+fn lint_is_clean_and_golden_on_this_tree() {
+    let sequential = run(&["lint", "--json", "--jobs", "1"]).expect("clean tree");
+    let parallel = run(&["lint", "--json", "--jobs", "8"]).expect("clean tree");
+    assert_eq!(sequential, parallel);
+    let again = run(&["lint", "--json", "--jobs", "8"]).expect("clean tree");
+    assert_eq!(parallel, again);
+    assert!(sequential.contains("\"errors\": 0"), "{sequential}");
+    assert!(sequential.contains("\"warnings\": 0"), "{sequential}");
+}
+
+/// Seeded source violations make the command fail (the binary maps the
+/// `Err` to a nonzero exit), with the rule ids in the rendered output.
+#[test]
+fn lint_fails_on_seeded_violations() {
+    let err = run(&["lint", "--root", &fixture("dirty")]).expect_err("dirty fixture must fail");
+    for rule in ["SL001", "SL002", "SL003", "SL004", "SL005", "SL006"] {
+        assert!(err.0.contains(rule), "missing {rule} in:\n{}", err.0);
+    }
+}
+
+/// Warnings alone pass by default and fail under `--deny-warnings`.
+#[test]
+fn deny_warnings_promotes_warnings_to_failure() {
+    let ok = run(&["lint", "--root", &fixture("warn_only")]).expect("warnings pass by default");
+    assert!(ok.contains("0 error(s)"), "{ok}");
+    let err = run(&["lint", "--root", &fixture("warn_only"), "--deny-warnings"])
+        .expect_err("--deny-warnings must fail on warnings");
+    assert!(err.0.contains("SL005"), "{}", err.0);
+}
+
+/// Unknown flags are reported, not ignored.
+#[test]
+fn lint_rejects_unknown_flags() {
+    let err = run(&["lint", "--format", "json"]).expect_err("unknown flag");
+    assert!(err.0.contains("unexpected argument"), "{}", err.0);
+}
