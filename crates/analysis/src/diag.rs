@@ -109,6 +109,11 @@ pub struct Report {
     pub plans_audited: usize,
     /// Source files scanned by the lint pass.
     pub files_scanned: usize,
+    /// Network assemblies and pruning plans checked by the dataflow
+    /// verifier.
+    pub networks_verified: usize,
+    /// Chain traces checked by the schedule auditor.
+    pub traces_audited: usize,
 }
 
 impl Report {
@@ -119,6 +124,8 @@ impl Report {
             diagnostics,
             plans_audited: 0,
             files_scanned: 0,
+            networks_verified: 0,
+            traces_audited: 0,
         }
     }
 
@@ -129,6 +136,8 @@ impl Report {
             .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         self.plans_audited += other.plans_audited;
         self.files_scanned += other.files_scanned;
+        self.networks_verified += other.networks_verified;
+        self.traces_audited += other.traces_audited;
     }
 
     /// The findings, in canonical order.
@@ -165,11 +174,13 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "lint: {} error(s), {} warning(s) over {} plan(s) and {} file(s)\n",
+            "lint: {} error(s), {} warning(s) over {} plan(s), {} file(s), {} network(s) and {} trace(s)\n",
             self.errors(),
             self.warnings(),
             self.plans_audited,
-            self.files_scanned
+            self.files_scanned,
+            self.networks_verified,
+            self.traces_audited
         ));
         out
     }
@@ -179,11 +190,13 @@ impl Report {
         let mut out = String::from("{\n");
         out.push_str("  \"version\": 1,\n");
         out.push_str(&format!(
-            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"plans_audited\": {}, \"files_scanned\": {}}},\n",
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"plans_audited\": {}, \"files_scanned\": {}, \"networks_verified\": {}, \"traces_audited\": {}}},\n",
             self.errors(),
             self.warnings(),
             self.plans_audited,
-            self.files_scanned
+            self.files_scanned,
+            self.networks_verified,
+            self.traces_audited
         ));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {

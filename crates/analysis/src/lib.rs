@@ -1,5 +1,5 @@
 //! Static analysis for the pruneperf workspace: structured diagnostics
-//! with two layers on top.
+//! with four layers on top.
 //!
 //! - **Plan audit** ([`plan_audit`]): enumerates [`pruneperf_backends`]
 //!   dispatch plans across the paper's devices and a representative layer
@@ -8,32 +8,46 @@
 //! - **Source lint** ([`source_lint`]): a dependency-free token scanner
 //!   over the repository's own sources enforcing the determinism and
 //!   robustness conventions the reproduction relies on (rules
-//!   `SL001`–`SL006`).
+//!   `SL001`–`SL007`).
+//! - **Network dataflow verifier** ([`network_verify`]): a static pass
+//!   over [`pruneperf_models`] full-network assemblies and the pruning
+//!   plans the [`pruneperf_core`] greedies emit — channel/spatial
+//!   propagation, paired input-side pruning, FLOPs re-accounting, head
+//!   geometry and device-memory fit (rules `NV001`–`NV008`).
+//! - **Schedule-trace auditor** ([`trace_audit`]): structural checks over
+//!   the simulator's [`pruneperf_gpusim::ChainTrace`] schedules —
+//!   disjointness, workgroup conservation, totals, utilization and
+//!   dispatch-plan agreement (rules `TA001`–`TA006`).
 //!
-//! Both layers report through the shared [`Diagnostic`]/[`Report`] core in
+//! All layers report through the shared [`Diagnostic`]/[`Report`] core in
 //! [`diag`], which renders human or JSON output in a canonical order so
 //! parallel runs are byte-identical. The rule catalog with stable ids
 //! lives in [`rules`]. The `pruneperf lint` CLI subcommand and the CI
-//! `lint` job drive [`run_full`].
+//! `lint` job drive [`run_full`]; `pruneperf audit` and the CI `audit`
+//! job drive [`run_audit`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod network_verify;
 pub mod plan_audit;
 pub mod rules;
 pub mod source_lint;
+pub mod trace_audit;
 
 pub use diag::{Diagnostic, Report, Severity};
+pub use network_verify::{audit_network_grid, audit_pruning_plan, verify_network};
 pub use plan_audit::{audit_paper_grid, audit_plan};
 pub use rules::{rule_info, RuleInfo, CATALOG};
 pub use source_lint::lint_sources;
+pub use trace_audit::{audit_trace, audit_trace_grid};
 
 use std::io;
 use std::path::Path;
 
-/// Runs both layers — the plan audit over the paper grid and the source
-/// lint over `root` — and merges them into one report.
+/// Runs the lint layers — the plan audit over the paper grid and the
+/// source lint over `root` — and merges them into one report.
 ///
 /// # Errors
 ///
@@ -42,4 +56,14 @@ pub fn run_full(root: &Path, jobs: usize) -> io::Result<Report> {
     let mut report = audit_paper_grid(jobs);
     report.merge(source_lint::lint_sources(root, jobs)?);
     Ok(report)
+}
+
+/// Runs the dynamic-artifact layers — the network dataflow verifier over
+/// the stock assemblies, pruned variants and greedy pruning plans, and the
+/// schedule-trace auditor over every traced dispatch plan — and merges
+/// them into one report.
+pub fn run_audit(jobs: usize) -> Report {
+    let mut report = audit_network_grid(jobs);
+    report.merge(audit_trace_grid(jobs));
+    report
 }

@@ -3,17 +3,19 @@
 //! Ids are load-bearing — they appear in JSON output, CI logs, tests and
 //! `DESIGN.md` — so they are append-only: never renumber, never reuse.
 //!
-//! To add a rule: pick the next free id in the right family, add a
-//! [`RuleInfo`] row here, implement the check in
-//! [`crate::plan_audit`] / [`crate::source_lint`] citing the id, and add at
-//! least one test that seeds a violation.
+//! To add a rule: pick the next free id in the right family (see
+//! [`FAMILIES`]), add a [`RuleInfo`] row here, implement the check in
+//! [`crate::plan_audit`] / [`crate::source_lint`] /
+//! [`crate::network_verify`] / [`crate::trace_audit`] citing the id, and
+//! add at least one test that seeds a violation.
 
 use crate::diag::Severity;
 
 /// Catalog row for one rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuleInfo {
-    /// Stable id (`PA…` = plan audit, `SL…` = source lint).
+    /// Stable id (`PA…` = plan audit, `SL…` = source lint,
+    /// `NV…` = network dataflow verifier, `TA…` = schedule-trace auditor).
     pub id: &'static str,
     /// Default severity of a violation.
     pub severity: Severity,
@@ -69,6 +71,52 @@ pub const SL004: &str = "SL004";
 pub const SL005: &str = "SL005";
 /// Public items in `gpusim` and `backends` carry doc comments.
 pub const SL006: &str = "SL006";
+/// No direct `==`/`!=` comparison against float literals outside
+/// `// lint: allow(float-eq)` sites — exact float equality is a
+/// determinism and portability hazard.
+pub const SL007: &str = "SL007";
+
+/// Conv output channels propagate: every convolution's input channels
+/// equal the channel count produced by the preceding op.
+pub const NV001: &str = "NV001";
+/// Spatial geometry propagates: each op's declared input extent matches
+/// the propagated extent, and pool windows fit their input.
+pub const NV002: &str = "NV002";
+/// Residual blocks stay shape-consistent: body output and shortcut output
+/// agree in extent and channels, and projections consume the block input.
+pub const NV003: &str = "NV003";
+/// Pruning-plan keeps are valid: every target layer exists and keeps
+/// within `1..=C` of its original output channels.
+pub const NV004: &str = "NV004";
+/// Paired input-side pruning is applied downstream: a coupled network
+/// shrinks each consumer's input channels to the producer's kept count.
+pub const NV005: &str = "NV005";
+/// Reported `total_flops`/`flops_breakdown` equal independently
+/// recomputed values for the (possibly pruned) assembly.
+pub const NV006: &str = "NV006";
+/// Classifier-head geometry: the final FC consumes the flattened feature
+/// extent and emits exactly the label count.
+pub const NV007: &str = "NV007";
+/// Peak per-op working set (activations + conv weights) fits the
+/// device's GPU heap.
+pub const NV008: &str = "NV008";
+
+/// Per-core spans are disjoint with non-decreasing start times.
+pub const TA001: &str = "TA001";
+/// Workgroup conservation: span workgroups per dispatch sum to the
+/// kernel's NDRange workgroup count.
+pub const TA002: &str = "TA002";
+/// `total_us` equals the max span finish time and the aggregate
+/// `run_chain` report total.
+pub const TA003: &str = "TA003";
+/// Utilization lies in (0, 1] and matches busy/(cores × total).
+pub const TA004: &str = "TA004";
+/// Trace dispatch count and kernel names match the dispatch plan (a
+/// two-kernel GEMM split shows exactly two kernels — Figs 3, 14, 15).
+pub const TA005: &str = "TA005";
+/// No empty or negative spans: positive duration, in-range core index,
+/// at least one workgroup.
+pub const TA006: &str = "TA006";
 
 /// Every rule either layer can emit.
 pub const CATALOG: &[RuleInfo] = &[
@@ -152,6 +200,93 @@ pub const CATALOG: &[RuleInfo] = &[
         severity: Severity::Warning,
         summary: "public items in gpusim/backends carry doc comments",
     },
+    RuleInfo {
+        id: SL007,
+        severity: Severity::Error,
+        summary: "no unmarked ==/!= comparisons against float literals",
+    },
+    RuleInfo {
+        id: NV001,
+        severity: Severity::Error,
+        summary: "conv input channels equal the propagated producer channels",
+    },
+    RuleInfo {
+        id: NV002,
+        severity: Severity::Error,
+        summary: "spatial extents propagate and pool windows fit their input",
+    },
+    RuleInfo {
+        id: NV003,
+        severity: Severity::Error,
+        summary: "residual body and shortcut agree in extent and channels",
+    },
+    RuleInfo {
+        id: NV004,
+        severity: Severity::Error,
+        summary: "pruning keeps target existing layers within 1..=C",
+    },
+    RuleInfo {
+        id: NV005,
+        severity: Severity::Error,
+        summary: "paired input-side pruning is applied to every consumer",
+    },
+    RuleInfo {
+        id: NV006,
+        severity: Severity::Error,
+        summary: "reported FLOPs equal independently recomputed values",
+    },
+    RuleInfo {
+        id: NV007,
+        severity: Severity::Error,
+        summary: "classifier head matches flattened features and label count",
+    },
+    RuleInfo {
+        id: NV008,
+        severity: Severity::Error,
+        summary: "peak per-op working set fits the device GPU heap",
+    },
+    RuleInfo {
+        id: TA001,
+        severity: Severity::Error,
+        summary: "per-core spans are disjoint with non-decreasing starts",
+    },
+    RuleInfo {
+        id: TA002,
+        severity: Severity::Error,
+        summary: "span workgroups per dispatch sum to the NDRange count",
+    },
+    RuleInfo {
+        id: TA003,
+        severity: Severity::Error,
+        summary: "total_us equals the max span finish and the report total",
+    },
+    RuleInfo {
+        id: TA004,
+        severity: Severity::Error,
+        summary: "utilization lies in (0,1] and matches busy/(cores*total)",
+    },
+    RuleInfo {
+        id: TA005,
+        severity: Severity::Error,
+        summary: "trace dispatches match the plan's kernel count and names",
+    },
+    RuleInfo {
+        id: TA006,
+        severity: Severity::Error,
+        summary: "no empty/negative spans; core index and workgroups in range",
+    },
+];
+
+/// The rule-id families this catalog may contain, keyed by prefix.
+///
+/// `FAMILIES` is the single source of truth for the compile-time-checked
+/// uniqueness test below: a new family must be registered here before its
+/// rules can land in [`CATALOG`].
+pub const FAMILIES: &[(&str, &str)] = &[
+    ("PA", "plan audit"),
+    ("SL", "source lint"),
+    ("NV", "network dataflow verifier"),
+    ("TA", "schedule-trace auditor"),
 ];
 
 /// Looks up a rule's catalog row.
@@ -166,10 +301,41 @@ mod tests {
     #[test]
     fn ids_are_unique_and_well_formed() {
         for (i, r) in CATALOG.iter().enumerate() {
-            assert!(r.id.starts_with("PA") || r.id.starts_with("SL"), "{}", r.id);
+            assert!(
+                FAMILIES.iter().any(|(p, _)| r.id.starts_with(p)),
+                "{} matches no registered family prefix",
+                r.id
+            );
             assert_eq!(r.id.len(), 5, "{}", r.id);
+            assert!(
+                r.id[2..].chars().all(|c| c.is_ascii_digit()),
+                "{} suffix must be numeric",
+                r.id
+            );
             for other in &CATALOG[i + 1..] {
                 assert_ne!(r.id, other.id);
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_has_rules_and_every_rule_a_family() {
+        for (prefix, name) in FAMILIES {
+            assert!(
+                CATALOG.iter().any(|r| r.id.starts_with(prefix)),
+                "family {prefix} ({name}) has no rules"
+            );
+        }
+        // Ids within a family are dense from 001 so gaps flag a typo.
+        for (prefix, _) in FAMILIES {
+            let mut nums: Vec<u32> = CATALOG
+                .iter()
+                .filter(|r| r.id.starts_with(prefix))
+                .map(|r| r.id[2..].parse().expect("numeric suffix"))
+                .collect();
+            nums.sort_unstable();
+            for (i, n) in nums.iter().enumerate() {
+                assert_eq!(*n as usize, i + 1, "{prefix} ids must be dense from 001");
             }
         }
     }

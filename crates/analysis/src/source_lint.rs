@@ -1,5 +1,5 @@
 //! Layer 2 — a dependency-free determinism/robustness lint over the
-//! repository's Rust sources (rules `SL001`–`SL006`, see [`crate::rules`]).
+//! repository's Rust sources (rules `SL001`–`SL007`, see [`crate::rules`]).
 //!
 //! The scanner is deliberately token-level, not a full parser: every rule
 //! here is a *pattern with an escape hatch*, tuned to this codebase's
@@ -16,8 +16,8 @@
 //! ```
 //!
 //! Recognized keys: `wall-clock` (SL001), `rng` (SL002), `map-order`
-//! (SL003), `unwrap` (SL005), `docs` (SL006). `SL004` has no marker — a
-//! crate root either forbids unsafe code or it does not.
+//! (SL003), `unwrap` (SL005), `docs` (SL006), `float-eq` (SL007). `SL004`
+//! has no marker — a crate root either forbids unsafe code or it does not.
 
 use std::fs;
 use std::io;
@@ -222,6 +222,17 @@ fn scan_file(rel: &str, raw: &str, workspace: bool) -> Vec<Diagnostic> {
                 ),
             );
         }
+        if let Some(msg) = float_eq_finding(line) {
+            if !allowed(i, "float-eq") {
+                out.push(
+                    Diagnostic::new(rules::SL007, Severity::Error, locate(), msg).with_hint(
+                        "compare against a tolerance (or bit patterns via to_bits); mark a \
+                         deliberate exact-value guard with `// lint: allow(float-eq) — why`"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
         if let Some(msg) = map_order_finding(&code_lines, i, &maps) {
             if !allowed(i, "map-order") {
                 out.push(
@@ -348,6 +359,74 @@ fn map_order_finding(code_lines: &[&str], i: usize, maps: &[String]) -> Option<S
         }
     }
     None
+}
+
+/// SL007 on one (stripped) line: a direct `==`/`!=` where either operand
+/// is a floating-point literal — the classic accidental exact-equality
+/// test. Token-level like every rule here: it looks at the literal next to
+/// the operator, so typed non-literal comparisons (`a == b` with float
+/// variables) are left to clippy, and integer comparisons never match.
+fn float_eq_finding(line: &str) -> Option<String> {
+    let b: Vec<char> = line.chars().collect();
+    let ident = |c: char| c.is_alphanumeric() || matches!(c, '.' | '_');
+    for idx in 0..b.len().saturating_sub(1) {
+        let op = match (b[idx], b[idx + 1]) {
+            ('=', '=') => "==",
+            ('!', '=') => "!=",
+            _ => continue,
+        };
+        // Reject `<=`, `>=`, `=>` and `==`'s own second half.
+        let before = idx.checked_sub(1).map(|j| b[j]);
+        let after = b.get(idx + 2).copied();
+        if matches!(before, Some('<' | '>' | '=' | '!')) || matches!(after, Some('=' | '>')) {
+            continue;
+        }
+        let left: String = b[..idx]
+            .iter()
+            .rev()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| ident(**c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let right: String = b[idx + 2..]
+            .iter()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| ident(**c))
+            .collect();
+        for tok in [left, right] {
+            if is_float_literal(&tok) {
+                return Some(format!(
+                    "direct float {op} against `{tok}` — exact equality is \
+                     representation-fragile"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// `0.0`, `1.25`, `3.`, `1_000.5`, `2f64`, `0.5f32` — but not `0`
+/// (integer), `x.y` (field access) or method-call results (a trailing `)`
+/// next to the operator yields an empty token).
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .map(|t| (t, true))
+        .unwrap_or((tok, false));
+    let (body, typed) = tok;
+    if body.is_empty() || !body.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    if !body
+        .chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | '_'))
+    {
+        return false;
+    }
+    typed || body.contains('.')
 }
 
 /// True when `line` contains `pat` with identifier boundaries on both
@@ -638,6 +717,43 @@ mod tests {
         let names = tracked_map_names(&clean);
         assert!(map_order_finding(&clean, 1, &names).is_none());
         assert!(map_order_finding(&clean, 3, &names).is_none());
+    }
+
+    #[test]
+    fn sl007_flags_float_literal_equality_only() {
+        assert!(float_eq_finding("if budget == 0.0 {").is_some());
+        assert!(float_eq_finding("if x != 1.5f32 {").is_some());
+        assert!(float_eq_finding("while 2f64 == y {").is_some());
+        assert!(float_eq_finding("if n == 0 {").is_none()); // integer
+        assert!(float_eq_finding("if x <= 0.0 {").is_none()); // ordering op
+        assert!(float_eq_finding("if x >= 1.0 {").is_none());
+        assert!(float_eq_finding("let f = |x| x == point.y;").is_none()); // field
+        assert!(float_eq_finding("Some(1.0) => {}").is_none()); // match arm
+        assert!(float_eq_finding("if a.to_bits() == b.to_bits() {").is_none());
+    }
+
+    #[test]
+    fn sl007_respects_allow_marker_and_test_cfg() {
+        let src = "\
+pub fn guard(x: f64) -> bool {
+    x == 0.0 // lint: allow(float-eq) — exact sentinel value
+}
+
+pub fn broken(x: f64) -> bool {
+    x == 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_exactness_is_fine(x: f64) -> bool {
+        x == 0.25
+    }
+}
+";
+        let diags = scan_file("crates/models/src/x.rs", src, true);
+        let sl007: Vec<_> = diags.iter().filter(|d| d.rule == rules::SL007).collect();
+        assert_eq!(sl007.len(), 1, "{diags:?}");
+        assert_eq!(sl007[0].location, "crates/models/src/x.rs:6");
     }
 
     #[test]

@@ -25,3 +25,8 @@ pub fn jitter() -> f64 {
 pub fn risky(v: Option<usize>) -> usize {
     v.unwrap()
 }
+
+/// Compares a float for exact equality (SL007).
+pub fn budget_spent(remaining: f64) -> bool {
+    remaining == 0.0
+}

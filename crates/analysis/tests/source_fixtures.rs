@@ -22,6 +22,7 @@ fn dirty_fixture_trips_every_source_rule() {
         rules::SL004,
         rules::SL005,
         rules::SL006,
+        rules::SL007,
     ] {
         assert!(
             report.diagnostics().iter().any(|d| d.rule == rule),

@@ -30,6 +30,21 @@ impl PruningPlan {
         &self.policy
     }
 
+    /// Backend the plan was profiled with.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Device the plan was profiled on.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Network the plan applies to.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
     /// Kept channel count per layer label.
     pub fn kept_channels(&self) -> &HashMap<String, usize> {
         &self.kept

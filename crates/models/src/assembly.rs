@@ -80,9 +80,152 @@ impl FullNetwork {
         &self.name
     }
 
+    /// Input spatial extent (square).
+    pub fn input_hw(&self) -> usize {
+        self.input_hw
+    }
+
+    /// Input channel count.
+    pub fn input_c(&self) -> usize {
+        self.input_c
+    }
+
     /// The operations in execution order.
     pub fn ops(&self) -> &[LayerOp] {
         &self.ops
+    }
+
+    /// Labels of every convolution in execution order (descending into
+    /// residual bodies and projections).
+    pub fn conv_labels(&self) -> Vec<String> {
+        fn collect(ops: &[LayerOp], out: &mut Vec<String>) {
+            for op in ops {
+                match op {
+                    LayerOp::Conv(spec) => out.push(spec.label().to_string()),
+                    LayerOp::Residual { body, projection } => {
+                        collect(body, out);
+                        if let Some(p) = projection {
+                            out.push(p.label().to_string());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.ops, &mut out);
+        out
+    }
+
+    /// Applies a channel-pruning keep map with **paired input-side pruning
+    /// propagated downstream** (§II-B): every convolution's output channels
+    /// shrink to its `kept` entry, the next layer's input channels follow,
+    /// fully-connected inputs rescale with their feeding channel count, and
+    /// residual shortcuts stay shape-consistent (projections follow the
+    /// body; identity-shortcut bodies keep the block width).
+    ///
+    /// Kept counts are clamped to `1..=c_out`; labels absent from the map
+    /// keep their original width. Grouped (non-depthwise) convolutions are
+    /// left unpruned — arbitrary keeps would break group divisibility.
+    pub fn pruned_with_kept(&self, kept: &std::collections::HashMap<String, usize>) -> FullNetwork {
+        // Walks ops tracking (original, pruned) channel counts. `force_out`
+        // pins the final conv's output (identity-shortcut residual bodies).
+        fn prune_ops(
+            ops: &[LayerOp],
+            orig_c: &mut usize,
+            new_c: &mut usize,
+            force_out: Option<usize>,
+            kept: &std::collections::HashMap<String, usize>,
+        ) -> Vec<LayerOp> {
+            let last_conv = ops
+                .iter()
+                .rposition(|op| matches!(op, LayerOp::Conv(_) | LayerOp::Residual { .. }));
+            ops.iter()
+                .enumerate()
+                .map(|(i, op)| match op {
+                    LayerOp::Conv(spec) => {
+                        let pinned = (Some(i) == last_conv).then_some(force_out).flatten();
+                        let (c_out, groups) = if spec.is_depthwise() {
+                            (*new_c, *new_c)
+                        } else if spec.groups() > 1 {
+                            (spec.c_out(), spec.groups())
+                        } else if let Some(pin) = pinned {
+                            (pin, 1)
+                        } else {
+                            let k = kept.get(spec.label()).copied().unwrap_or(spec.c_out());
+                            (k.clamp(1, spec.c_out()), 1)
+                        };
+                        let new = ConvLayerSpec::new_grouped(
+                            spec.label(),
+                            spec.kernel(),
+                            spec.stride(),
+                            spec.pad(),
+                            *new_c,
+                            c_out,
+                            spec.h_in(),
+                            spec.w_in(),
+                            groups,
+                        );
+                        *orig_c = spec.c_out();
+                        *new_c = c_out;
+                        LayerOp::Conv(new)
+                    }
+                    LayerOp::FullyConnected {
+                        label,
+                        in_features,
+                        out_features,
+                    } => {
+                        // The flattened input shrinks with its feeding
+                        // channels; catalog in_features are exact multiples.
+                        let scaled = if *orig_c > 0 && in_features.is_multiple_of(*orig_c) {
+                            in_features / *orig_c * *new_c
+                        } else {
+                            *in_features
+                        };
+                        *orig_c = *out_features;
+                        *new_c = *out_features;
+                        LayerOp::FullyConnected {
+                            label: label.clone(),
+                            in_features: scaled,
+                            out_features: *out_features,
+                        }
+                    }
+                    LayerOp::Residual { body, projection } => {
+                        let (mut b_orig, mut b_new) = (*orig_c, *new_c);
+                        let force = projection.is_none().then_some(*new_c);
+                        let new_body = prune_ops(body, &mut b_orig, &mut b_new, force, kept);
+                        let new_proj = projection.as_ref().map(|p| {
+                            ConvLayerSpec::new(
+                                p.label(),
+                                p.kernel(),
+                                p.stride(),
+                                p.pad(),
+                                *new_c,
+                                b_new,
+                                p.h_in(),
+                                p.w_in(),
+                            )
+                        });
+                        *orig_c = b_orig;
+                        *new_c = b_new;
+                        LayerOp::Residual {
+                            body: new_body,
+                            projection: new_proj,
+                        }
+                    }
+                    other => other.clone(),
+                })
+                .collect()
+        }
+        let mut orig_c = self.input_c;
+        let mut new_c = self.input_c;
+        let ops = prune_ops(&self.ops, &mut orig_c, &mut new_c, None, kept);
+        FullNetwork {
+            name: format!("{} (pruned)", self.name),
+            input_hw: self.input_hw,
+            input_c: self.input_c,
+            ops,
+        }
     }
 
     /// FLOPs per op, paired with whether the op is a convolution.

@@ -56,7 +56,7 @@ impl NetworkReport {
     /// Average power over the run, milliwatts.
     pub fn average_power_mw(&self) -> f64 {
         let total_ms = self.total_ms();
-        if total_ms == 0.0 {
+        if total_ms <= 0.0 {
             return 0.0;
         }
         // mJ / ms = W; × 1000 -> mW.

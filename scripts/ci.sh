@@ -12,6 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests =="
 cargo test --workspace
 
+echo "== static analysis (lint + audit) =="
+cargo run --release -- lint --deny-warnings
+cargo run --release -- audit --deny-warnings
+
 echo "== benches (compile + smoke) =="
 cargo bench -p pruneperf-bench -- --test
 

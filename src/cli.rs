@@ -119,6 +119,9 @@ commands:
   lint      [--json] [--deny-warnings] [--root PATH]
             static analysis: audit every backend's dispatch plans against
             the paper invariants and lint the sources for determinism
+  audit     [--json] [--deny-warnings]
+            verify whole-network dataflow (stock + pruned assemblies,
+            greedy pruning plans) and audit simulator schedule traces
 
 every command also accepts --jobs N: worker threads for channel sweeps
 (default: all cores; the PRUNEPERF_JOBS environment variable overrides)
@@ -140,6 +143,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         // `lint` takes boolean flags, which `parse_flags` (strict
         // `--key value` pairs) cannot express.
         return cmd_lint(&args[1..]);
+    }
+    if command == "audit" {
+        // Boolean flags, like `lint`.
+        return cmd_audit(&args[1..]);
     }
     let mut flags = parse_flags(&args[1..])?;
     let jobs = match flags.remove("jobs") {
@@ -249,7 +256,7 @@ fn cmd_prune(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let budget: f64 = flag(flags, "budget", "0.8")
         .parse()
         .map_err(|_| err("--budget must be a number in (0, 1]"))?;
-    if !(0.0..=1.0).contains(&budget) || budget == 0.0 {
+    if !(budget > 0.0 && budget <= 1.0) {
         return Err(err("--budget must be a number in (0, 1]"));
     }
     let profiler = LayerProfiler::noiseless(&device);
@@ -383,6 +390,43 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     let root = root.unwrap_or_else(|| env!("CARGO_MANIFEST_DIR").to_string());
     let report = pruneperf_analysis::run_full(std::path::Path::new(&root), sweep::sweep_jobs())
         .map_err(|e| err(format!("lint: cannot read sources under '{root}': {e}")))?;
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if report.errors() > 0 || (deny_warnings && report.warnings() > 0) {
+        Err(CliError(rendered))
+    } else {
+        Ok(rendered)
+    }
+}
+
+fn cmd_audit(args: &[String]) -> Result<String, CliError> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| err("flag --jobs needs a value"))?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| err("--jobs must be a non-negative integer"))?,
+                );
+            }
+            other => {
+                return Err(err(format!(
+                    "unexpected argument '{other}' (audit takes --json, --deny-warnings, --jobs N)"
+                )))
+            }
+        }
+    }
+    sweep::set_sweep_jobs(sweep::resolve_jobs(jobs));
+    let report = pruneperf_analysis::run_audit(sweep::sweep_jobs());
     let rendered = if json {
         report.render_json()
     } else {
@@ -563,6 +607,19 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--jobs"));
+    }
+
+    #[test]
+    fn audit_flag_errors_are_user_facing() {
+        assert!(run(&["audit", "--root", "."])
+            .unwrap_err()
+            .0
+            .contains("unexpected argument"));
+        assert!(run(&["audit", "--jobs", "many"])
+            .unwrap_err()
+            .0
+            .contains("--jobs"));
+        assert!(run(&["audit", "--jobs"]).unwrap_err().0.contains("--jobs"));
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! End-to-end behaviour of `pruneperf audit`: the stock assemblies,
+//! greedy pruning plans and simulator traces all pass the NV/TA rules on
+//! this tree, and the JSON report is byte-identical across worker counts
+//! — the golden determinism contract from the lint core, extended to the
+//! dynamic-artifact layers.
+
+use pruneperf::cli::run_cli;
+
+fn run(args: &[&str]) -> Result<String, pruneperf::cli::CliError> {
+    let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run_cli(&v)
+}
+
+/// The audit is clean on this tree — zero errors and zero warnings over
+/// every stock network, pruned variant, greedy plan and traced dispatch —
+/// and the JSON rendering is byte-identical across `--jobs 1` and
+/// `--jobs 8`.
+#[test]
+fn audit_is_clean_and_golden_across_worker_counts() {
+    let sequential = run(&["audit", "--json", "--jobs", "1"]).expect("clean audit");
+    let parallel = run(&["audit", "--json", "--jobs", "8"]).expect("clean audit");
+    assert_eq!(sequential, parallel);
+    assert!(sequential.contains("\"errors\": 0"), "{sequential}");
+    assert!(sequential.contains("\"warnings\": 0"), "{sequential}");
+    assert!(sequential.contains("\"networks_verified\""), "{sequential}");
+    assert!(sequential.contains("\"traces_audited\""), "{sequential}");
+}
+
+/// Unknown flags are reported, not ignored.
+#[test]
+fn audit_rejects_unknown_flags() {
+    let err = run(&["audit", "--root", "."]).expect_err("unknown flag");
+    assert!(err.0.contains("unexpected argument"), "{}", err.0);
+}

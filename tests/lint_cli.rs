@@ -35,7 +35,9 @@ fn lint_is_clean_and_golden_on_this_tree() {
 #[test]
 fn lint_fails_on_seeded_violations() {
     let err = run(&["lint", "--root", &fixture("dirty")]).expect_err("dirty fixture must fail");
-    for rule in ["SL001", "SL002", "SL003", "SL004", "SL005", "SL006"] {
+    for rule in [
+        "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+    ] {
         assert!(err.0.contains(rule), "missing {rule} in:\n{}", err.0);
     }
 }
