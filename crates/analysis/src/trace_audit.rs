@@ -428,6 +428,37 @@ mod tests {
         assert_eq!(groups.iter().filter(|g| g.kernel == "gemm_mm").count(), 2);
     }
 
+    /// ACL GEMM's remainder-kernel math, audited end-to-end: every
+    /// `c_out % 8` residue class is planned, scheduled and re-checked
+    /// against the full rule set — TA002 in particular proves the split's
+    /// two dispatches conserve workgroups even when the padded column
+    /// count is not a multiple of the macro-tile. (c_out = 101 used to
+    /// ship a workgroup shape that did not tile its NDRange.)
+    #[test]
+    fn acl_gemm_residue_classes_audit_clean() {
+        let device = Device::mali_g72_hikey970();
+        let engine = Engine::new(&device);
+        let backend = AclGemm::new();
+        for c_out in 89..=104usize {
+            let layer = ConvLayerSpec::new("grid.k3s1", 3, 1, 1, 128, c_out, 28, 28);
+            let plan = backend.plan(&layer, &device);
+            let trace = engine.trace_chain(plan.chain());
+            let total = engine.run_chain(plan.chain()).total_time_us();
+            let producer = format!("residue c_out={c_out}");
+            let diags = audit_trace(&producer, &trace, Some(plan.chain()), Some(total));
+            assert!(diags.is_empty(), "c_out={c_out}: {diags:?}");
+            // The split regime shows exactly two gemm_mm dispatches, the
+            // single regime exactly one — visible in the trace itself.
+            let expected = plan.kernels_named("gemm_mm").count();
+            let groups = dispatch_groups(trace.spans());
+            assert_eq!(
+                groups.iter().filter(|g| g.kernel == "gemm_mm").count(),
+                expected,
+                "c_out={c_out}"
+            );
+        }
+    }
+
     #[test]
     fn ta001_overlapping_spans_are_caught() {
         let trace = ChainTrace::from_parts(

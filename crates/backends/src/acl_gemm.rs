@@ -139,9 +139,15 @@ impl AclGemm {
         let m = out_h * out_w;
         let k_dim = layer.taps();
         let col_quads = cols / 4;
-        // Main kernels tile 4 column-quads per workgroup; the remainder
-        // kernel has fewer quads than a full tile.
-        let local_y = col_quads.min(4);
+        // Up to 4 column-quads per workgroup, but the shape must tile the
+        // NDRange exactly: a quad count like 26 (c_out 101 → 104 padded
+        // columns) is not a multiple of 4, and a 4-high workgroup would
+        // either drop the last two quads or pad into columns that do not
+        // exist. Take the largest height that divides the quad count.
+        let local_y = (1..=col_quads.min(4))
+            .rev()
+            .find(|d| col_quads.is_multiple_of(*d))
+            .unwrap_or(1);
         KernelDesc::builder("gemm_mm")
             .global([m.div_ceil(4), col_quads, 1])
             .local([4, local_y, 1])
@@ -359,6 +365,80 @@ mod tests {
             (1.3..3.0).contains(&ratio),
             "76/78 ratio {ratio:.2} out of band (paper: 1.83)"
         );
+    }
+
+    /// Remainder-kernel math over every `c_out % 8` residue class.
+    ///
+    /// `gemm_kernel` derives its NDRange as `cols / 4` — integer division
+    /// that silently drops columns if a split ever produced a `cols` that
+    /// is not a multiple of 4. Sweep all eight residue classes (plus the
+    /// class boundaries the paper's tables pin down) and prove, for every
+    /// one, that the dispatched workgroups cover exactly the padded
+    /// column count: no dropped work, no double-covered columns.
+    #[test]
+    fn every_residue_class_conserves_gemm_columns() {
+        let d = device();
+        let b = AclGemm::new();
+        // 89..=104 covers each residue of both c_out % 8 and c_out % 16;
+        // the extras are boundary cases: the minimum split (17), tiny
+        // layers that must not split, and the layer's full 128 channels.
+        let cases: Vec<usize> = (89..=104).chain([1, 4, 13, 16, 17, 128]).collect();
+        for c_out in cases {
+            let c4 = c_out.div_ceil(4) * 4;
+            let plan = b.plan(&l16(c_out), &d);
+            let gemms: Vec<_> = plan
+                .chain()
+                .jobs()
+                .iter()
+                .filter(|j| j.kernel().name() == "gemm_mm")
+                .collect();
+            let mut covered = 0usize;
+            for job in &gemms {
+                let k = job.kernel();
+                let cols = k.global()[1] * 4;
+                // Column counts stay vec4-aligned, so `cols / 4` is exact.
+                assert_eq!(cols % 4, 0, "c_out={c_out}: non-vec4 kernel");
+                assert!(cols > 0, "c_out={c_out}: empty gemm dispatch");
+                // Workgroup shape divides the NDRange (the TA002 invariant).
+                for axis in 0..3 {
+                    assert_eq!(
+                        k.global()[axis] % k.local()[axis].max(1),
+                        0,
+                        "c_out={c_out}: local {:?} does not tile global {:?}",
+                        k.local(),
+                        k.global()
+                    );
+                }
+                covered += cols;
+            }
+            assert_eq!(
+                covered, c4,
+                "c_out={c_out}: dispatched columns must cover the padded count exactly"
+            );
+            match AclGemm::column_split(c_out) {
+                ColumnSplit::Single { cols } => {
+                    assert_eq!(gemms.len(), 1, "c_out={c_out}");
+                    assert_eq!(gemms[0].kernel().global()[1] * 4, cols);
+                    assert!(!gemms[0].needs_own_submission(), "c_out={c_out}");
+                }
+                ColumnSplit::Split { main, rem } => {
+                    assert_eq!(gemms.len(), 2, "c_out={c_out}");
+                    assert_eq!(main % 16, 0, "c_out={c_out}: main not tile-aligned");
+                    assert!(
+                        rem == 4 || rem == 8 || rem == 12,
+                        "c_out={c_out}: remainder {rem} outside a macro-tile"
+                    );
+                    assert_eq!(gemms[0].kernel().global()[1] * 4, main);
+                    assert_eq!(gemms[1].kernel().global()[1] * 4, rem);
+                    assert!(
+                        gemms[1].needs_own_submission(),
+                        "c_out={c_out}: remainder must be separately submitted"
+                    );
+                    // The remainder's short columns shrink its workgroup.
+                    assert_eq!(gemms[1].kernel().local()[1], (rem / 4).min(4));
+                }
+            }
+        }
     }
 
     /// No slowdown in the immediate vicinity of stock channel counts

@@ -60,8 +60,55 @@ pub use cudnn::{Cudnn, CudnnAlgorithm};
 pub use plan::DispatchPlan;
 pub use tvm::Tvm;
 
+use std::fmt;
+
 use pruneperf_gpusim::{Device, Engine};
 use pruneperf_models::ConvLayerSpec;
+
+/// Why a fallible cost evaluation failed.
+///
+/// Produced by [`ConvBackend::try_cost`] implementations — today the
+/// profiler's fault-injection wrappers, eventually backends that talk to
+/// real hardware, where a query genuinely can fail mid-sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostError {
+    /// `true` when retrying the same query may succeed (a transient
+    /// failure); `false` when every retry will fail the same way.
+    pub transient: bool,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl CostError {
+    /// A retryable failure.
+    pub fn transient(message: impl Into<String>) -> Self {
+        CostError {
+            transient: true,
+            message: message.into(),
+        }
+    }
+
+    /// A failure that will not go away on retry.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        CostError {
+            transient: false,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.transient {
+            "transient"
+        } else {
+            "permanent"
+        };
+        write!(f, "{kind} cost failure: {}", self.message)
+    }
+}
+
+impl std::error::Error for CostError {}
 
 /// A deep-learning library's convolution planner.
 ///
@@ -92,6 +139,25 @@ pub trait ConvBackend: Send + Sync {
         let plan = self.plan(layer, device);
         let report = Engine::new(device).run_chain(plan.chain());
         (report.total_time_ms(), report.total_energy_mj())
+    }
+
+    /// Fallible twin of [`ConvBackend::cost`].
+    ///
+    /// The simulator backends never fail, so the default wraps [`cost`] in
+    /// `Ok`. Decorators that inject faults (and future backends that query
+    /// real hardware) override this; every recovery-aware path — the
+    /// latency cache's [`try_cost`], the profiler's retrying measurement,
+    /// partial network runs — calls it instead of `cost`.
+    ///
+    /// [`cost`]: ConvBackend::cost
+    /// [`try_cost`]: ConvBackend::try_cost
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CostError`] when the evaluation fails; `transient`
+    /// distinguishes retryable failures from permanent ones.
+    fn try_cost(&self, layer: &ConvLayerSpec, device: &Device) -> Result<(f64, f64), CostError> {
+        Ok(self.cost(layer, device))
     }
 
     /// Convenience: plans and executes the layer, returning latency in ms.
@@ -165,6 +231,34 @@ mod tests {
         let (ms, mj) = backend.cost(&layer, &device);
         assert_eq!(ms, backend.latency_ms(&layer, &device));
         assert_eq!(mj, backend.energy_mj(&layer, &device));
+    }
+
+    #[test]
+    fn default_try_cost_is_infallible_and_matches_cost() {
+        let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+        let device = Device::mali_g72_hikey970();
+        for backend in all_backends() {
+            let device = if backend.name().contains("cuDNN") {
+                Device::jetson_tx2()
+            } else {
+                device.clone()
+            };
+            assert_eq!(
+                backend.try_cost(&layer, &device),
+                Ok(backend.cost(&layer, &device)),
+                "{}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_error_constructors_and_display() {
+        let t = CostError::transient("link dropped");
+        let p = CostError::permanent("no such kernel");
+        assert!(t.transient && !p.transient);
+        assert!(t.to_string().contains("transient"), "{t}");
+        assert!(p.to_string().contains("permanent"), "{p}");
     }
 
     #[test]

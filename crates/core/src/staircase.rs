@@ -8,6 +8,21 @@ use pruneperf_profiler::LatencyCurve;
 /// Pareto dominance — sized to ride over the profiler's ~2% jitter.
 const LEVEL_TOL: f64 = 0.05;
 
+/// Absolute floor added to the step tolerance, ms. A purely relative
+/// tolerance breaks down near zero: at a 0 ms level `(ms - mean) / mean`
+/// is `NaN` (every comparison fails, so each point becomes its own step)
+/// and at a near-zero level the tolerance band collapses below float
+/// noise. One picosecond is far under any modelled kernel time yet keeps
+/// flat ~0 ms curves detecting as the single step they are.
+const LEVEL_TOL_ABS_MS: f64 = 1e-9;
+
+/// Relative slack when comparing a level against a latency budget. A
+/// budget that lands *exactly* on a level — e.g. a level computed as
+/// `0.1 + 0.2` against a budget written as `0.3` — must deterministically
+/// include that step; one part in 10^12 covers accumulated rounding
+/// while staying far below measurement resolution.
+const BUDGET_REL_TOL: f64 = 1e-12;
+
 /// One flat segment of the latency staircase.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Step {
@@ -77,12 +92,13 @@ impl Staircase {
     /// The optimal point with the most channels that still meets a latency
     /// budget — the “best trade-off between accuracy and inference time”
     /// pick of §IV-A1.
+    ///
+    /// The comparison allows [`BUDGET_REL_TOL`] relative slack, so a
+    /// budget equal to a step's level selects that step even when the two
+    /// values were computed along different float paths.
     pub fn best_within_budget(&self, budget_ms: f64) -> Option<OptimalPoint> {
-        self.optimal
-            .iter()
-            .rev()
-            .find(|p| p.ms <= budget_ms)
-            .copied()
+        let limit = budget_ms + budget_ms.abs() * BUDGET_REL_TOL;
+        self.optimal.iter().rev().find(|p| p.ms <= limit).copied()
     }
 
     /// Largest ratio between adjacent steps' levels (the “uneven gaps”
@@ -137,7 +153,10 @@ fn detect_steps(curve: &LatencyCurve) -> Vec<Step> {
             continue;
         }
         let mean: f64 = members.iter().sum::<f64>() / members.len() as f64;
-        if (ms - mean).abs() / mean <= LEVEL_TOL {
+        // Relative band with an absolute floor: dividing by the mean would
+        // produce NaN on a 0 ms level and fragment near-zero curves.
+        let tol = LEVEL_TOL * mean.abs() + LEVEL_TOL_ABS_MS;
+        if (ms - mean).abs() <= tol {
             members.push(ms);
             prev_c = p.channels;
         } else {
@@ -303,5 +322,67 @@ mod tests {
     fn display_renders_steps() {
         let out = Staircase::detect(&cudnn_style()).to_string();
         assert!(out.contains("3 step(s)"), "{out}");
+    }
+
+    /// Regression: a flat level at (or within float noise of) 0 ms used to
+    /// divide by a zero mean, turn the tolerance test into a NaN
+    /// comparison, and fragment the curve into one step per point.
+    #[test]
+    fn near_zero_flat_curve_is_one_step() {
+        let zero: Vec<(usize, f64)> = (1..=16).map(|c| (c, 0.0)).collect();
+        let s = Staircase::detect(&curve_from(&zero));
+        assert_eq!(s.steps().len(), 1, "{s}");
+        assert_eq!(s.steps()[0].level_ms, 0.0);
+        assert!(s.steps()[0].level_ms.is_finite());
+
+        // Sub-float-noise levels (e.g. 1e-14 ms) group the same way.
+        let tiny: Vec<(usize, f64)> = (1..=16)
+            .map(|c| (c, 1e-14 * if c % 2 == 0 { 1.0 } else { 3.0 }))
+            .collect();
+        let s = Staircase::detect(&curve_from(&tiny));
+        assert_eq!(s.steps().len(), 1, "{s}");
+        // A genuine step above the absolute floor still separates.
+        let mixed: Vec<(usize, f64)> = (1..=16)
+            .map(|c| (c, if c <= 8 { 0.0 } else { 4.0 }))
+            .collect();
+        let s = Staircase::detect(&curve_from(&mixed));
+        assert_eq!(s.steps().len(), 2, "{s}");
+    }
+
+    /// Regression: a budget landing exactly on a level must include that
+    /// step even when budget and level were computed along different float
+    /// paths (`0.1 + 0.2 != 0.3` in binary).
+    #[test]
+    fn budget_exactly_on_a_level_includes_the_step() {
+        let level = 0.1_f64 + 0.2_f64; // 0.30000000000000004
+        let series: Vec<(usize, f64)> = (1..=8)
+            .map(|c| (c, if c <= 4 { level } else { level * 3.0 }))
+            .collect();
+        let s = Staircase::detect(&curve_from(&series));
+        // The literal 0.3 sits one ULP *below* the computed level; the
+        // tolerance must bridge it deterministically.
+        assert_eq!(s.best_within_budget(0.3).unwrap().channels, 4);
+        // Exact equality on the same float path also selects the step.
+        assert_eq!(s.best_within_budget(level).unwrap().channels, 4);
+        // A budget genuinely below the level still excludes it.
+        assert!(s.best_within_budget(level * 0.99).is_none());
+    }
+
+    /// Curves with gaps (fault-injected sweeps drop unmeasurable channel
+    /// counts) keep detecting: steps span the surviving points, and the
+    /// missing counts simply never appear as candidates.
+    #[test]
+    fn gapped_curve_detects_over_survivors() {
+        let series: Vec<(usize, f64)> = (1..=40usize)
+            .filter(|c| ![7, 8, 21, 30].contains(c))
+            .map(|c| (c, if c <= 20 { 4.0 } else { 7.0 }))
+            .collect();
+        let s = Staircase::detect(&curve_from(&series));
+        assert_eq!(s.steps().len(), 2, "{s}");
+        assert_eq!(s.steps()[0].from_channels, 1);
+        assert_eq!(s.steps()[0].to_channels, 20);
+        assert_eq!(s.steps()[1].from_channels, 22, "21 is a gap");
+        let channels: Vec<usize> = s.optimal_points().iter().map(|p| p.channels).collect();
+        assert_eq!(channels, [20, 40]);
     }
 }

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 use pruneperf_backends::hash::fnv1a;
-use pruneperf_backends::ConvBackend;
+use pruneperf_backends::{ConvBackend, CostError};
 use pruneperf_gpusim::Device;
 use pruneperf_models::ConvLayerSpec;
 
@@ -45,8 +45,9 @@ impl CacheKey {
     }
 }
 
-/// SplitMix64 finalizer: cheap, high-quality 64-bit mixing.
-fn splitmix(mut x: u64) -> u64 {
+/// SplitMix64 finalizer: cheap, high-quality 64-bit mixing (shared with
+/// the fault-injection plan, whose decisions are pure hash functions).
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -193,44 +194,120 @@ impl LatencyCache {
         device: &Device,
     ) -> (f64, f64) {
         let fingerprint = backend.fingerprint();
-        let digest = key_digest(fingerprint, device.name(), layer);
-        // Shard on the *top* bits: the identity-hashed bucket maps consume
-        // the low bits for their own indexing, and sharing those across the
-        // shard split would cluster every shard's keys.
-        let shard = &self.shards[(digest >> 60) as usize & (SHARDS - 1)];
-        {
-            // Recover from poisoning: shard entries are pure memoized
-            // values, inserted whole under the lock, so a panicked holder
-            // cannot have left a torn state.
-            let table = shard.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(bucket) = table.get(&digest) {
-                if let Some((_, cached)) = bucket
-                    .iter()
-                    .find(|(k, _)| k.matches(fingerprint, device.name(), layer))
-                {
-                    let cached = *cached;
-                    drop(table);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return cached;
-                }
-            }
+        if let Some(cached) = self.lookup(fingerprint, layer, device) {
+            return cached;
         }
         let computed = backend.cost(layer, device);
+        self.insert(fingerprint, layer, device, computed);
+        computed
+    }
+
+    /// Fallible twin of [`LatencyCache::cost`] over
+    /// [`ConvBackend::try_cost`].
+    ///
+    /// Failures are **never** cached: a transient error leaves no trace in
+    /// the table, so the caller's retry re-evaluates the backend, and a
+    /// later success is memoized normally. Hit/miss counters only move on
+    /// answered queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`CostError`] on a miss whose evaluation
+    /// fails.
+    pub fn try_cost(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        device: &Device,
+    ) -> Result<(f64, f64), CostError> {
+        let fingerprint = backend.fingerprint();
+        if let Some(cached) = self.lookup(fingerprint, layer, device) {
+            return Ok(cached);
+        }
+        let computed = backend.try_cost(layer, device)?;
+        self.insert(fingerprint, layer, device, computed);
+        Ok(computed)
+    }
+
+    /// Probes the memo table, counting a hit when present.
+    fn lookup(
+        &self,
+        fingerprint: u64,
+        layer: &ConvLayerSpec,
+        device: &Device,
+    ) -> Option<(f64, f64)> {
+        let digest = key_digest(fingerprint, device.name(), layer);
+        // Recover from poisoning: shard entries are pure memoized values,
+        // inserted whole under the lock, so a panicked holder cannot have
+        // left a torn state.
+        let table = self
+            .shard(digest)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let cached = table.get(&digest).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|(k, _)| k.matches(fingerprint, device.name(), layer))
+                .map(|(_, v)| *v)
+        });
+        drop(table);
+        if cached.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        cached
+    }
+
+    /// Memoizes one computed value, counting the miss that produced it.
+    fn insert(&self, fingerprint: u64, layer: &ConvLayerSpec, device: &Device, value: (f64, f64)) {
+        let digest = key_digest(fingerprint, device.name(), layer);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let key = CacheKey {
             backend: fingerprint,
             device: device.name().to_string(),
             layer: layer.clone(),
         };
-        let mut table = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut table = self
+            .shard(digest)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let bucket = table.entry(digest).or_default();
         if !bucket
             .iter()
             .any(|(k, _)| k.matches(fingerprint, device.name(), layer))
         {
-            bucket.push((key, computed));
+            bucket.push((key, value));
         }
-        computed
+    }
+
+    /// The shard holding `digest`.
+    ///
+    /// Shards on the *top* bits: the identity-hashed bucket maps consume
+    /// the low bits for their own indexing, and sharing those across the
+    /// shard split would cluster every shard's keys.
+    fn shard(&self, digest: u64) -> &Mutex<Shard> {
+        &self.shards[(digest >> 60) as usize & (SHARDS - 1)]
+    }
+
+    /// Deliberately poisons every shard lock: a scoped thread takes each
+    /// lock and panics while holding it.
+    ///
+    /// This is the chaos harness's poisoned-lock fault. The cache's own
+    /// accessors recover via [`PoisonError::into_inner`] (entries are
+    /// inserted whole under the lock, so no torn state can exist), and
+    /// callers verify that queries after poisoning still return bitwise
+    /// the same values.
+    pub fn poison_all_shards(&self) {
+        for shard in &self.shards {
+            let result = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        let _guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                        panic!("deliberate shard poisoning");
+                    })
+                    .join()
+            });
+            debug_assert!(result.is_err(), "the poisoning thread must panic");
+        }
     }
 
     /// Memoized latency in ms (the `.0` of [`LatencyCache::cost`]).
@@ -348,6 +425,98 @@ mod tests {
         let tuned_ms = cache.latency_ms(&Tvm::with_log(log), &layer, &d);
         assert_ne!(stock_ms, tuned_ms, "autotuned entry must not be shadowed");
         assert_eq!(cache.len(), 2);
+    }
+
+    /// A backend that fails its first `fail_times` fallible evaluations of
+    /// every query, then defers to the clean model.
+    struct Flaky {
+        inner: AclGemm,
+        fail_times: u64,
+        calls: AtomicU64,
+    }
+
+    impl ConvBackend for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+
+        fn plan(&self, layer: &ConvLayerSpec, device: &Device) -> pruneperf_backends::DispatchPlan {
+            self.inner.plan(layer, device)
+        }
+
+        fn try_cost(
+            &self,
+            layer: &ConvLayerSpec,
+            device: &Device,
+        ) -> Result<(f64, f64), pruneperf_backends::CostError> {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            if call < self.fail_times {
+                Err(pruneperf_backends::CostError::transient(format!(
+                    "injected failure {call}"
+                )))
+            } else {
+                Ok(self.inner.cost(layer, device))
+            }
+        }
+    }
+
+    #[test]
+    fn try_cost_never_caches_failures() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = Flaky {
+            inner: AclGemm::new(),
+            fail_times: 2,
+            calls: AtomicU64::new(0),
+        };
+        let layer = l16();
+        assert!(cache.try_cost(&b, &layer, &d).is_err());
+        assert!(cache.try_cost(&b, &layer, &d).is_err());
+        assert!(cache.is_empty(), "errors must not be memoized");
+        assert_eq!(cache.stats().misses, 0, "failed queries count nothing");
+        let value = cache.try_cost(&b, &layer, &d).unwrap();
+        assert_eq!(value, AclGemm::new().cost(&layer, &d));
+        assert_eq!(cache.stats().misses, 1);
+        // The success is memoized: the next query is a hit, not a call.
+        assert_eq!(cache.try_cost(&b, &layer, &d).unwrap(), value);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(b.calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn try_cost_agrees_with_cost_for_infallible_backends() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let layer = l16();
+        assert_eq!(
+            cache.try_cost(&b, &layer, &d).unwrap(),
+            cache.cost(&b, &layer, &d)
+        );
+    }
+
+    /// Poisoned shard locks must not lose the table or change any value.
+    #[test]
+    fn queries_recover_from_poisoned_shards() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let warm: Vec<f64> = (60..=76)
+            .map(|c| cache.latency_ms(&b, &l16().with_c_out(c).unwrap(), &d))
+            .collect();
+        let entries = cache.len();
+        cache.poison_all_shards();
+        // Reads of warmed keys hit and match bitwise; new keys still insert.
+        let after: Vec<f64> = (60..=76)
+            .map(|c| cache.latency_ms(&b, &l16().with_c_out(c).unwrap(), &d))
+            .collect();
+        assert_eq!(warm, after);
+        assert_eq!(cache.len(), entries);
+        let fresh = cache.latency_ms(&b, &l16().with_c_out(33).unwrap(), &d);
+        assert_eq!(fresh, b.latency_ms(&l16().with_c_out(33).unwrap(), &d));
+        assert_eq!(cache.len(), entries + 1);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -13,6 +13,35 @@ pub struct CurvePoint {
     pub measurement: Measurement,
 }
 
+/// Why a [`LatencyCurve`] could not be assembled from sweep points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CurveError {
+    /// No points at all survived the sweep.
+    Empty,
+    /// Channel counts were not strictly increasing at the given pair.
+    NonIncreasing {
+        /// The earlier point's channel count.
+        prev: usize,
+        /// The offending next point's channel count.
+        next: usize,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::Empty => write!(f, "a latency curve needs at least one point"),
+            CurveError::NonIncreasing { prev, next } => write!(
+                f,
+                "curve points must have strictly increasing channel counts \
+                 (got {prev} then {next})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
 /// Inference latency as a function of the layer's output channel count —
 /// the x/y series behind Figs 2–5, 7, 12, 14, 15 and 20.
 ///
@@ -39,20 +68,42 @@ impl LatencyCurve {
         device: impl Into<String>,
         points: Vec<CurvePoint>,
     ) -> Self {
-        assert!(
-            !points.is_empty(),
-            "a latency curve needs at least one point"
-        );
-        assert!(
-            points.windows(2).all(|w| w[0].channels < w[1].channels),
-            "curve points must have strictly increasing channel counts"
-        );
-        LatencyCurve {
+        match Self::try_new(layer_label, backend, device, points) {
+            Ok(curve) => curve,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`LatencyCurve::new`] for callers assembling
+    /// curves from inputs that may be degenerate — e.g. a fault-injected
+    /// sweep where every point failed.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::Empty`] when `points` is empty,
+    /// [`CurveError::NonIncreasing`] when channel counts do not strictly
+    /// increase.
+    pub fn try_new(
+        layer_label: impl Into<String>,
+        backend: impl Into<String>,
+        device: impl Into<String>,
+        points: Vec<CurvePoint>,
+    ) -> Result<Self, CurveError> {
+        if points.is_empty() {
+            return Err(CurveError::Empty);
+        }
+        if let Some(w) = points.windows(2).find(|w| w[0].channels >= w[1].channels) {
+            return Err(CurveError::NonIncreasing {
+                prev: w[0].channels,
+                next: w[1].channels,
+            });
+        }
+        Ok(LatencyCurve {
             layer_label: layer_label.into(),
             backend: backend.into(),
             device: device.into(),
             points,
-        }
+        })
     }
 
     /// The profiled layer's label.
@@ -193,6 +244,88 @@ impl fmt::Display for LatencyCurve {
     }
 }
 
+/// One unmeasured channel count of a partial sweep, with the failure that
+/// caused it — an explicitly marked hole rather than a silently absent
+/// cell (a single lost cell would otherwise corrupt the staircase
+/// analysis of Figs 2–5 without anyone noticing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveGap {
+    /// The channel count that could not be measured.
+    pub channels: usize,
+    /// Number of attempts the retry policy spent before giving up.
+    pub attempts: u32,
+    /// The final error, rendered to text.
+    pub error: String,
+}
+
+/// A latency sweep that may have lost points to permanent faults: the
+/// surviving measurements as a [`LatencyCurve`] (absent when *every*
+/// point failed) plus one [`CurveGap`] per unmeasured channel count.
+///
+/// Downstream analyses keep working on the survivor curve — gaps are just
+/// missing channel counts, which [`LatencyCurve`] already permits — while
+/// callers that need completeness check [`PartialCurve::is_complete`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialCurve {
+    curve: Option<LatencyCurve>,
+    gaps: Vec<CurveGap>,
+}
+
+impl PartialCurve {
+    /// Assembles a partial sweep result; gaps are sorted by channel count
+    /// so reports never depend on worker scheduling.
+    pub fn new(curve: Option<LatencyCurve>, mut gaps: Vec<CurveGap>) -> Self {
+        gaps.sort_by_key(|g| g.channels);
+        PartialCurve { curve, gaps }
+    }
+
+    /// The surviving measurements, if any point succeeded.
+    pub fn curve(&self) -> Option<&LatencyCurve> {
+        self.curve.as_ref()
+    }
+
+    /// The unmeasured channel counts in increasing order.
+    pub fn gaps(&self) -> &[CurveGap] {
+        &self.gaps
+    }
+
+    /// `true` when every requested point was measured.
+    pub fn is_complete(&self) -> bool {
+        self.gaps.is_empty() && self.curve.is_some()
+    }
+
+    /// Measured points.
+    pub fn measured(&self) -> usize {
+        self.curve.as_ref().map_or(0, |c| c.points().len())
+    }
+
+    /// Fraction of requested points that were measured, in `[0, 1]`
+    /// (defined as 0 for an empty sweep).
+    pub fn coverage(&self) -> f64 {
+        let total = self.measured() + self.gaps.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.measured() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PartialCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.curve {
+            Some(curve) => write!(
+                f,
+                "{} — {} gap(s), {:.1}% coverage",
+                curve,
+                self.gaps.len(),
+                self.coverage() * 100.0
+            ),
+            None => write!(f, "no surviving points — {} gap(s)", self.gaps.len()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +377,54 @@ mod tests {
     #[test]
     fn display_summarizes() {
         assert!(curve().to_string().contains("3 points over 76..=96"));
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            LatencyCurve::try_new("l", "b", "d", vec![]).unwrap_err(),
+            CurveError::Empty
+        );
+        assert_eq!(
+            LatencyCurve::try_new("l", "b", "d", vec![point(10, 1.0), point(10, 1.0)]).unwrap_err(),
+            CurveError::NonIncreasing { prev: 10, next: 10 }
+        );
+        assert!(LatencyCurve::try_new("l", "b", "d", vec![point(1, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn partial_curve_sorts_gaps_and_reports_coverage() {
+        let gap = |c: usize| CurveGap {
+            channels: c,
+            attempts: 4,
+            error: "injected permanent fault".into(),
+        };
+        let partial = PartialCurve::new(Some(curve()), vec![gap(90), gap(77)]);
+        assert_eq!(
+            partial
+                .gaps()
+                .iter()
+                .map(|g| g.channels)
+                .collect::<Vec<_>>(),
+            [77, 90]
+        );
+        assert!(!partial.is_complete());
+        assert_eq!(partial.measured(), 3);
+        assert!((partial.coverage() - 0.6).abs() < 1e-12);
+        assert!(partial.to_string().contains("2 gap(s)"), "{partial}");
+
+        let complete = PartialCurve::new(Some(curve()), vec![]);
+        assert!(complete.is_complete());
+        assert!((complete.coverage() - 1.0).abs() < 1e-12);
+
+        let dead = PartialCurve::new(None, vec![gap(1)]);
+        assert!(!dead.is_complete());
+        assert_eq!(dead.measured(), 0);
+        assert!((dead.coverage() - 0.0).abs() < 1e-12);
+        assert!(dead.to_string().contains("no surviving points"), "{dead}");
+
+        let empty = PartialCurve::new(None, vec![]);
+        assert!((empty.coverage() - 0.0).abs() < 1e-12);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 mod cache;
 mod curve;
+pub mod faults;
 mod measurement;
 mod profiler;
 mod runner;
@@ -41,8 +42,11 @@ pub mod sweep;
 mod timeline;
 
 pub use cache::{CacheStats, LatencyCache};
-pub use curve::{CurvePoint, LatencyCurve};
+pub use curve::{CurveError, CurveGap, CurvePoint, LatencyCurve, PartialCurve};
+pub use faults::{FaultKind, FaultPlan, FaultyBackend, RetryOutcome, RetryPolicy};
 pub use measurement::Measurement;
-pub use profiler::LayerProfiler;
-pub use runner::{LayerCost, NetworkReport, NetworkRunner, ThermalGovernor};
+pub use profiler::{LayerProfiler, MeasureError};
+pub use runner::{
+    FailedLayer, LayerCost, NetworkReport, NetworkRunner, PartialNetworkReport, ThermalGovernor,
+};
 pub use timeline::Timeline;

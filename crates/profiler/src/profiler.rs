@@ -1,3 +1,6 @@
+use std::fmt;
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -5,7 +8,10 @@ use pruneperf_backends::ConvBackend;
 use pruneperf_gpusim::{Device, Engine};
 use pruneperf_models::ConvLayerSpec;
 
-use crate::{sweep, CurvePoint, LatencyCache, LatencyCurve, Measurement, Timeline};
+use crate::faults::{with_retry, RetryPolicy};
+use crate::{
+    sweep, CurveGap, CurvePoint, LatencyCache, LatencyCurve, Measurement, PartialCurve, Timeline,
+};
 
 /// Default number of runs per configuration (§III-D).
 const DEFAULT_RUNS: usize = 10;
@@ -27,6 +33,8 @@ pub struct LayerProfiler {
     device: Device,
     runs: usize,
     noise: bool,
+    cache: Option<Arc<LatencyCache>>,
+    retry: RetryPolicy,
 }
 
 impl LayerProfiler {
@@ -36,6 +44,8 @@ impl LayerProfiler {
             device: device.clone(),
             runs: DEFAULT_RUNS,
             noise: true,
+            cache: None,
+            retry: RetryPolicy::bounded(),
         }
     }
 
@@ -46,6 +56,35 @@ impl LayerProfiler {
             device: device.clone(),
             runs: 1,
             noise: false,
+            cache: None,
+            retry: RetryPolicy::bounded(),
+        }
+    }
+
+    /// Memoizes through `cache` instead of the process-wide
+    /// [`LatencyCache::global`].
+    ///
+    /// Fault-injection runs need this: injected-fault counts are only
+    /// reproducible when every run starts from an equally cold cache, and
+    /// a faulty backend's entries should not outlive the experiment.
+    pub fn with_cache(mut self, cache: Arc<LatencyCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Overrides the retry policy used by the fallible measurement paths
+    /// ([`LayerProfiler::try_measure`],
+    /// [`LayerProfiler::latency_curve_partial`]).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The cache this profiler memoizes through.
+    fn cache(&self) -> &LatencyCache {
+        match &self.cache {
+            Some(c) => c,
+            None => LatencyCache::global(),
         }
     }
 
@@ -99,7 +138,17 @@ impl LayerProfiler {
     /// simulate each one only once; the seeded jitter is layered on top of
     /// the cached value, which is bitwise-identical to an uncached run.
     pub fn measure(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> Measurement {
-        let base_ms = LatencyCache::global().latency_ms(backend, layer, &self.device);
+        let base_ms = self.cache().latency_ms(backend, layer, &self.device);
+        self.noisy_measurement(backend, layer, base_ms)
+    }
+
+    /// Layers the seeded jitter runs on top of a deterministic base time.
+    fn noisy_measurement(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        base_ms: f64,
+    ) -> Measurement {
         if !self.noise {
             return Measurement::from_runs(vec![base_ms]);
         }
@@ -110,11 +159,40 @@ impl LayerProfiler {
         Measurement::from_runs(runs)
     }
 
+    /// Fallible twin of [`LayerProfiler::measure`]: queries through the
+    /// fallible cost path, retrying transient failures under the
+    /// profiler's [`RetryPolicy`] before giving up.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MeasureError`] carrying the channel count, the number
+    /// of attempts spent and the final backend error when the
+    /// configuration could not be measured (a permanent fault, or
+    /// transient faults outlasting the retry budget).
+    pub fn try_measure(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+    ) -> Result<Measurement, MeasureError> {
+        let (result, outcome) = with_retry(&self.retry, || {
+            self.cache().try_cost(backend, layer, &self.device)
+        });
+        match result {
+            Ok((base_ms, _mj)) => Ok(self.noisy_measurement(backend, layer, base_ms)),
+            Err(e) => Err(MeasureError {
+                channels: layer.c_out(),
+                attempts: outcome.attempts,
+                backoff_ms: outcome.backoff_ms,
+                message: e.to_string(),
+            }),
+        }
+    }
+
     /// Modelled energy of one execution in millijoules (energy is a model
     /// output, not a measured quantity, so it carries no jitter). Served
     /// from the same cache entry as the latency.
     pub fn energy_mj(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> f64 {
-        LatencyCache::global().energy_mj(backend, layer, &self.device)
+        self.cache().energy_mj(backend, layer, &self.device)
     }
 
     /// Intercepts a single execution: kernel timeline plus system counters
@@ -157,7 +235,83 @@ impl LayerProfiler {
             points,
         )
     }
+
+    /// Fault-tolerant twin of [`LayerProfiler::latency_curve`]: sweeps
+    /// the same configurations through [`LayerProfiler::try_measure`] and
+    /// degrades gracefully instead of panicking.
+    ///
+    /// Configurations that fail after retries become explicit
+    /// [`CurveGap`]s; every survivor lands at its channel count exactly
+    /// as in the infallible sweep, so with no faults the result is the
+    /// complete curve, bitwise-identical at any worker count.
+    pub fn latency_curve_partial(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        channels: std::ops::RangeInclusive<usize>,
+    ) -> PartialCurve {
+        let configs: Vec<ConvLayerSpec> =
+            channels.filter_map(|c| layer.with_c_out(c).ok()).collect();
+        let outcomes: Vec<Result<CurvePoint, CurveGap>> =
+            sweep::ordered_parallel_map(&configs, sweep::sweep_jobs(), |pruned| {
+                match self.try_measure(backend, pruned) {
+                    Ok(measurement) => Ok(CurvePoint {
+                        channels: pruned.c_out(),
+                        measurement,
+                    }),
+                    Err(e) => Err(CurveGap {
+                        channels: e.channels,
+                        attempts: e.attempts,
+                        error: e.message,
+                    }),
+                }
+            });
+        let mut points = Vec::new();
+        let mut gaps = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(p) => points.push(p),
+                Err(g) => gaps.push(g),
+            }
+        }
+        let curve = LatencyCurve::try_new(
+            layer.label().to_string(),
+            backend.name().to_string(),
+            self.device.name().to_string(),
+            points,
+        )
+        .ok();
+        PartialCurve::new(curve, gaps)
+    }
 }
+
+/// Why one layer configuration could not be measured.
+///
+/// Produced by [`LayerProfiler::try_measure`] after the retry policy is
+/// exhausted (or aborts on a permanent fault).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureError {
+    /// The configuration's output channel count.
+    pub channels: usize,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// Total virtual backoff accounted across the retries, ms.
+    pub backoff_ms: f64,
+    /// The final backend error, rendered to text.
+    pub message: String,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} channels unmeasurable after {} attempt(s): {}",
+            self.channels, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for MeasureError {}
 
 #[cfg(test)]
 mod tests {
@@ -245,5 +399,119 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn zero_runs_rejected() {
         let _ = LayerProfiler::new(&Device::jetson_nano()).with_runs(0);
+    }
+
+    mod fault_paths {
+        use super::*;
+        use crate::faults::{FaultPlan, FaultyBackend};
+        use std::sync::Arc;
+
+        fn faulted_profiler(plan: FaultPlan) -> (LayerProfiler, FaultyBackend<AclGemm>) {
+            let p = LayerProfiler::new(&Device::mali_g72_hikey970())
+                .with_cache(Arc::new(LatencyCache::new()));
+            (p, FaultyBackend::new(AclGemm::new(), plan))
+        }
+
+        #[test]
+        fn try_measure_matches_measure_when_nothing_faults() {
+            let (p, b) = faulted_profiler(FaultPlan::new(1));
+            let layer = l16();
+            assert_eq!(p.try_measure(&b, &layer).unwrap(), p.measure(&b, &layer));
+        }
+
+        #[test]
+        fn try_measure_retries_transients_and_reports_permanents() {
+            let (p, b) = faulted_profiler(FaultPlan::new(2).with_transient_rate(0.5));
+            // Rate 0.5 per attempt against a 4-attempt budget: most
+            // configurations recover via retry, a few (~6%) exhaust the
+            // budget — and those must surface as *transient* errors with
+            // the full budget spent, not hang or panic.
+            let layer = l16();
+            let mut ok = 0usize;
+            for c in 60..=96 {
+                let pruned = layer.with_c_out(c).unwrap();
+                match p.try_measure(&b, &pruned) {
+                    Ok(_) => ok += 1,
+                    Err(e) => {
+                        assert_eq!(e.attempts, 4, "budget must be spent: {e}");
+                        assert!(e.message.contains("transient"), "{e}");
+                        assert!(e.backoff_ms > 0.0);
+                    }
+                }
+            }
+            assert!(ok >= 30, "retry should recover most configs, got {ok}/37");
+            assert!(b.stats().transients > 0, "the plan never fired");
+
+            let (p, b) = faulted_profiler(FaultPlan::new(2).with_permanent_rate(1.0));
+            let err = p.try_measure(&b, &layer).unwrap_err();
+            assert_eq!(err.attempts, 1, "permanent faults must not retry");
+            assert_eq!(err.channels, layer.c_out());
+            assert!(err.message.contains("permanent"), "{err}");
+            assert!(err.to_string().contains("unmeasurable"));
+        }
+
+        #[test]
+        fn partial_curve_marks_gaps_and_keeps_survivors() {
+            let plan = FaultPlan::new(9).with_permanent_rate(0.2);
+            let (p, b) = faulted_profiler(plan);
+            let partial = p.latency_curve_partial(&b, &l16(), 60..=128);
+            assert!(!partial.is_complete(), "seed 9 @ 0.2 must lose points");
+            assert!(partial.curve().is_some());
+            assert_eq!(partial.measured() + partial.gaps().len(), 69);
+            for gap in partial.gaps() {
+                assert!(gap.error.contains("permanent"), "{gap:?}");
+                assert!(partial.curve().unwrap().ms_at(gap.channels).is_none());
+            }
+            // Survivors are bitwise-identical to a fault-free sweep.
+            let clean = LayerProfiler::new(&Device::mali_g72_hikey970()).latency_curve(
+                &AclGemm::new(),
+                &l16(),
+                60..=128,
+            );
+            for point in partial.curve().unwrap().points() {
+                assert_eq!(
+                    Some(point.measurement.median_ms()),
+                    clean.ms_at(point.channels)
+                );
+            }
+        }
+
+        #[test]
+        fn partial_curve_is_identical_at_any_worker_count() {
+            let run = |jobs: usize| {
+                sweep::set_sweep_jobs(jobs);
+                let plan = FaultPlan::new(13)
+                    .with_permanent_rate(0.15)
+                    .with_transient_rate(0.3);
+                let (p, b) = faulted_profiler(plan);
+                let out = p.latency_curve_partial(&b, &l16(), 60..=128);
+                sweep::set_sweep_jobs(1);
+                (out, b.stats())
+            };
+            let (seq, seq_stats) = run(1);
+            let (par, par_stats) = run(8);
+            assert_eq!(seq, par);
+            assert_eq!(seq_stats, par_stats, "injection counts must match too");
+        }
+
+        #[test]
+        fn fully_faulted_sweep_yields_no_curve_but_no_panic() {
+            let (p, b) = faulted_profiler(FaultPlan::new(4).with_permanent_rate(1.0));
+            let partial = p.latency_curve_partial(&b, &l16(), 60..=70);
+            assert!(partial.curve().is_none());
+            assert_eq!(partial.gaps().len(), 11);
+            assert_eq!(partial.measured(), 0);
+            assert_eq!(partial.coverage(), 0.0);
+        }
+
+        #[test]
+        fn local_cache_keeps_global_state_clean() {
+            let cache = Arc::new(LatencyCache::new());
+            let p = LayerProfiler::new(&Device::mali_g72_hikey970()).with_cache(cache.clone());
+            let before = LatencyCache::global().len();
+            let _ = p.measure(&AclGemm::new(), &l16());
+            assert_eq!(LatencyCache::global().len(), before);
+            assert_eq!(cache.len(), 1);
+        }
     }
 }

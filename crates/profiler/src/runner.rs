@@ -9,11 +9,14 @@
 //! phenomenon on the passively-cooled HiKey/Odroid/Nano boards the paper
 //! uses with “default OS” settings (§III-D).
 
+use std::sync::Arc;
+
 use pruneperf_backends::ConvBackend;
 use pruneperf_gpusim::Device;
 use pruneperf_models::Network;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{with_retry, RetryPolicy};
 use crate::LatencyCache;
 
 /// Per-layer slice of a network run.
@@ -94,6 +97,8 @@ impl NetworkReport {
 #[derive(Debug, Clone)]
 pub struct NetworkRunner {
     device: Device,
+    cache: Option<Arc<LatencyCache>>,
+    retry: RetryPolicy,
 }
 
 impl NetworkRunner {
@@ -101,6 +106,29 @@ impl NetworkRunner {
     pub fn new(device: &Device) -> Self {
         NetworkRunner {
             device: device.clone(),
+            cache: None,
+            retry: RetryPolicy::bounded(),
+        }
+    }
+
+    /// Memoizes through `cache` instead of the process-wide
+    /// [`LatencyCache::global`] — fault-injection runs use this so every
+    /// run starts equally cold and faulty entries never leak out.
+    pub fn with_cache(mut self, cache: Arc<LatencyCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Overrides the retry policy used by [`NetworkRunner::try_run`].
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    fn cache(&self) -> &LatencyCache {
+        match &self.cache {
+            Some(c) => c,
+            None => LatencyCache::global(),
         }
     }
 
@@ -111,7 +139,7 @@ impl NetworkRunner {
     /// repeated whole-network runs (e.g. thermal duty-cycle studies)
     /// simulate each layer once.
     pub fn run(&self, backend: &dyn ConvBackend, network: &Network) -> NetworkReport {
-        let cache = LatencyCache::global();
+        let cache = self.cache();
         let layers = network
             .layers()
             .iter()
@@ -130,6 +158,84 @@ impl NetworkRunner {
             backend: backend.name().to_string(),
             layers,
         }
+    }
+
+    /// Fault-tolerant twin of [`NetworkRunner::run`]: each layer goes
+    /// through the fallible cost path with transient retries, and layers
+    /// that still fail become explicit [`FailedLayer`] entries instead of
+    /// taking the run down.
+    ///
+    /// The surviving layers keep their network order, so the partial
+    /// report's totals are exact sums over what *was* measurable — a
+    /// lower bound a caller must check via
+    /// [`PartialNetworkReport::is_complete`] before treating it as the
+    /// network's cost.
+    pub fn try_run(&self, backend: &dyn ConvBackend, network: &Network) -> PartialNetworkReport {
+        let cache = self.cache();
+        let mut layers = Vec::new();
+        let mut failed = Vec::new();
+        for l in network.layers() {
+            let (result, outcome) =
+                with_retry(&self.retry, || cache.try_cost(backend, l, &self.device));
+            match result {
+                Ok((ms, mj)) => layers.push(LayerCost {
+                    label: l.label().to_string(),
+                    ms,
+                    mj,
+                }),
+                Err(e) => failed.push(FailedLayer {
+                    label: l.label().to_string(),
+                    attempts: outcome.attempts,
+                    error: e.to_string(),
+                }),
+            }
+        }
+        PartialNetworkReport {
+            report: NetworkReport {
+                network: network.name().to_string(),
+                device: self.device.name().to_string(),
+                backend: backend.name().to_string(),
+                layers,
+            },
+            failed,
+        }
+    }
+}
+
+/// A network layer that could not be costed, with the retry effort spent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedLayer {
+    /// Layer label.
+    pub label: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The final error, rendered to text.
+    pub error: String,
+}
+
+/// A whole-network run that may have lost layers to permanent faults:
+/// the surviving per-layer costs as a [`NetworkReport`] plus one
+/// [`FailedLayer`] per layer that could not be measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialNetworkReport {
+    report: NetworkReport,
+    failed: Vec<FailedLayer>,
+}
+
+impl PartialNetworkReport {
+    /// The surviving layers' report (empty layer list if all failed).
+    pub fn report(&self) -> &NetworkReport {
+        &self.report
+    }
+
+    /// The layers that could not be costed, in network order.
+    pub fn failed(&self) -> &[FailedLayer] {
+        &self.failed
+    }
+
+    /// `true` when every layer was measured and totals are trustworthy.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
     }
 }
 
@@ -304,6 +410,42 @@ mod tests {
 
     fn gov_mid(a: &NetworkReport, b: &NetworkReport, retention: f64) -> f64 {
         (a.total_mj() + b.total_mj()) / 2.0 / (1.0 - retention)
+    }
+
+    #[test]
+    fn try_run_matches_run_without_faults() {
+        let d = Device::mali_g72_hikey970();
+        let runner = NetworkRunner::new(&d);
+        let partial = runner.try_run(&AclGemm::new(), &alexnet());
+        assert!(partial.is_complete());
+        assert!(partial.failed().is_empty());
+        assert_eq!(partial.report(), &runner.run(&AclGemm::new(), &alexnet()));
+    }
+
+    #[test]
+    fn try_run_degrades_to_a_partial_report_under_permanent_faults() {
+        use crate::faults::{FaultPlan, FaultyBackend};
+        use std::sync::Arc;
+
+        let d = Device::mali_g72_hikey970();
+        let runner = NetworkRunner::new(&d).with_cache(Arc::new(LatencyCache::new()));
+        let backend =
+            FaultyBackend::new(AclGemm::new(), FaultPlan::new(6).with_permanent_rate(0.3));
+        let partial = runner.try_run(&backend, &resnet50());
+        assert!(!partial.is_complete(), "seed 6 @ 0.3 must fail some layer");
+        assert_eq!(
+            partial.report().layers().len() + partial.failed().len(),
+            resnet50().len()
+        );
+        for f in partial.failed() {
+            assert_eq!(f.attempts, 1, "permanent faults must not retry");
+            assert!(f.error.contains("permanent"), "{f:?}");
+        }
+        // Survivors carry the clean backend's exact costs.
+        let clean = NetworkRunner::new(&d).run(&AclGemm::new(), &resnet50());
+        for layer in partial.report().layers() {
+            assert!(clean.layers().contains(layer), "{}", layer.label);
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! [`crate::LayerProfiler::latency_curve`] sweep picks it up without API
 //! changes in between.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the default worker count.
@@ -49,6 +51,116 @@ pub fn sweep_jobs() -> usize {
     }
 }
 
+/// A worker panic contained by [`contained_parallel_map`]: which input
+/// item unwound, and the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, rendered to text.
+    pub message: String,
+}
+
+impl fmt::Display for SweepPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Renders a caught panic payload; payloads are `&str` or `String` for
+/// every `panic!`/`assert!` form, anything else gets a placeholder.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Maps `f` over `items` on `jobs` worker threads with per-item panic
+/// containment, returning results in input order.
+///
+/// A panicking item never takes the sweep down: the unwind is caught at
+/// the item boundary, the worker moves on to the next index, and the
+/// item's slot stays `None`. The second component lists every contained
+/// panic in increasing item order — so callers can report *which* inputs
+/// failed while all survivors land in their input-ordered slots exactly as
+/// in [`ordered_parallel_map`].
+pub fn contained_parallel_map<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    f: F,
+) -> (Vec<Option<R>>, Vec<SweepPanic>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    // `f` only borrows the item and the caller observes either a result or
+    // a contained panic per slot, so broken invariants cannot leak —
+    // asserting unwind safety is sound here.
+    let run_one = |i: usize, item: &T| -> Result<R, SweepPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| SweepPanic {
+            index: i,
+            message: payload_message(payload),
+        })
+    };
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        let mut slots = Vec::with_capacity(items.len());
+        let mut panics = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match run_one(i, item) {
+                Ok(r) => slots.push(Some(r)),
+                Err(p) => {
+                    slots.push(None);
+                    panics.push(p);
+                }
+            }
+        }
+        return (slots, panics);
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let mut panics: Vec<SweepPanic> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    let mut caught = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        match run_one(i, item) {
+                            Ok(r) => out.push((i, r)),
+                            Err(p) => caught.push(p),
+                        }
+                    }
+                    (out, caught)
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Worker closures contain every item panic via catch_unwind,
+            // so the thread itself cannot unwind.
+            // lint: allow(unwrap) — join only fails if the worker panicked
+            let (out, caught) = handle.join().expect("contained sweep worker cannot panic");
+            for (i, r) in out {
+                slots[i] = Some(r);
+            }
+            panics.extend(caught);
+        }
+    });
+    // Workers surface their catches in claim order; sort so the report is
+    // scheduling-independent.
+    panics.sort_by_key(|p| p.index);
+    (slots, panics)
+}
+
 /// Maps `f` over `items` on `jobs` worker threads, returning results in
 /// input order.
 ///
@@ -56,43 +168,32 @@ pub fn sweep_jobs() -> usize {
 /// balancing — sweep items vary wildly in cost) and deposit each result in
 /// its item's slot, so the output is identical to `items.iter().map(f)` no
 /// matter how the items interleave across threads.
+///
+/// # Panics
+///
+/// If `f` panics for some item, every *other* item still completes, and
+/// the sweep then re-panics with the lowest failing item index and the
+/// original payload text — never the opaque "a scoped thread panicked"
+/// abort of a bare join. Callers that need to survive item panics use
+/// [`contained_parallel_map`] directly.
 pub fn ordered_parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let jobs = jobs.max(1).min(items.len());
-    if jobs <= 1 {
-        return items.iter().map(f).collect();
+    let (slots, panics) = contained_parallel_map(items, jobs, f);
+    if let Some(p) = panics.first() {
+        panic!(
+            "sweep worker panicked on item {} of {}: {}",
+            p.index,
+            items.len(),
+            p.message
+        );
     }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            // lint: allow(unwrap) — propagating a worker panic is the intent
-            for (i, r) in handle.join().expect("sweep worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
     slots
         .into_iter()
-        // lint: allow(unwrap) — the atomic counter hands out each index once
+        // lint: allow(unwrap) — no panics were caught, so every slot filled
         .map(|slot| slot.expect("every index was claimed exactly once"))
         .collect()
 }
@@ -120,6 +221,80 @@ mod tests {
             x * 2
         });
         assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    /// The regression the fault harness flushed out: a panicking closure
+    /// used to abort the whole sweep through an opaque `join().unwrap()`.
+    /// Now the panic is contained, the error names the failing item index,
+    /// and every survivor still lands in input order — at jobs=1 (the
+    /// sequential fast path) and jobs=8 alike.
+    #[test]
+    fn worker_panic_is_contained_and_indexed() {
+        let items: Vec<usize> = (0..64).collect();
+        for jobs in [1usize, 8] {
+            let (slots, panics) = contained_parallel_map(&items, jobs, |&x| {
+                assert!(x != 13 && x != 40, "deliberate failure on {x}");
+                x * 3
+            });
+            assert_eq!(slots.len(), 64, "jobs={jobs}");
+            let indices: Vec<usize> = panics.iter().map(|p| p.index).collect();
+            assert_eq!(indices, [13, 40], "jobs={jobs}");
+            for p in &panics {
+                assert!(
+                    p.message.contains("deliberate failure"),
+                    "jobs={jobs}: {p:?}"
+                );
+            }
+            for (i, slot) in slots.iter().enumerate() {
+                if i == 13 || i == 40 {
+                    assert_eq!(slot, &None, "jobs={jobs}");
+                } else {
+                    assert_eq!(slot, &Some(i * 3), "jobs={jobs} item {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_map_repanics_with_the_item_index() {
+        for jobs in [1usize, 8] {
+            let items: Vec<usize> = (0..32).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                ordered_parallel_map(&items, jobs, |&x| {
+                    assert!(x != 21, "item {x} is bad");
+                    x
+                })
+            }));
+            let msg = payload_message(caught.expect_err("must propagate"));
+            assert!(
+                msg.contains("item 21 of 32") && msg.contains("item 21 is bad"),
+                "jobs={jobs}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn contained_map_handles_empty_and_all_panicking_inputs() {
+        let (slots, panics) = contained_parallel_map(&[] as &[usize], 4, |&x| x);
+        assert!(slots.is_empty() && panics.is_empty());
+        let items = [1usize, 2, 3];
+        let (slots, panics) =
+            contained_parallel_map(&items, 8, |_| -> usize { panic!("all fail") });
+        assert_eq!(slots, vec![None, None, None]);
+        assert_eq!(panics.len(), 3);
+        assert_eq!(
+            panics.iter().map(|p| p.index).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn sweep_panic_displays_index_and_payload() {
+        let p = SweepPanic {
+            index: 7,
+            message: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "item 7 panicked: boom");
     }
 
     #[test]

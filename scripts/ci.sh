@@ -16,6 +16,14 @@ echo "== static analysis (lint + audit) =="
 cargo run --release -- lint --deny-warnings
 cargo run --release -- audit --deny-warnings
 
+echo "== chaos drill (fault injection, byte-identical across worker counts) =="
+for seed in 1 2 3; do
+  cargo run --release -q -- chaos --seed "$seed" --jobs 1 > "/tmp/pruneperf-chaos-$seed-seq.txt"
+  cargo run --release -q -- chaos --seed "$seed" --jobs 8 > "/tmp/pruneperf-chaos-$seed-par.txt"
+  cmp "/tmp/pruneperf-chaos-$seed-seq.txt" "/tmp/pruneperf-chaos-$seed-par.txt"
+done
+cargo run --release -q -- chaos --seed 4 --faults 0.5 > /dev/null
+
 echo "== benches (compile + smoke) =="
 cargo bench -p pruneperf-bench -- --test
 

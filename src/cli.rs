@@ -122,6 +122,10 @@ commands:
   audit     [--json] [--deny-warnings]
             verify whole-network dataflow (stock + pruned assemblies,
             greedy pruning plans) and audit simulator schedule traces
+  chaos     [--seed S] [--faults RATE] [--jobs N] [--json]
+            deterministic fault-injection drill: transient-fault retries,
+            permanent-fault curve gaps, contained worker panics, poisoned
+            cache recovery — and a byte-identity check across worker counts
 
 every command also accepts --jobs N: worker threads for channel sweeps
 (default: all cores; the PRUNEPERF_JOBS environment variable overrides)
@@ -147,6 +151,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     if command == "audit" {
         // Boolean flags, like `lint`.
         return cmd_audit(&args[1..]);
+    }
+    if command == "chaos" {
+        // Boolean flags, like `lint`; also manages the worker count
+        // itself (it runs at two counts and compares).
+        return cmd_chaos(&args[1..]);
     }
     let mut flags = parse_flags(&args[1..])?;
     let jobs = match flags.remove("jobs") {
@@ -439,6 +448,56 @@ fn cmd_audit(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
+    let mut json = false;
+    let mut opts = crate::chaos::ChaosOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("flag --seed needs a value"))?;
+                opts.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| err("--seed must be a non-negative integer"))?;
+            }
+            "--faults" => {
+                let v = it.next().ok_or_else(|| err("flag --faults needs a value"))?;
+                let rate = v
+                    .parse::<f64>()
+                    .map_err(|_| err("--faults must be a rate in [0, 1]"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(err("--faults must be a rate in [0, 1]"));
+                }
+                opts.fault_rate = rate;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| err("flag --jobs needs a value"))?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| err("--jobs must be a non-negative integer"))?
+                    .max(1);
+            }
+            other => {
+                return Err(err(format!(
+                    "unexpected argument '{other}' (chaos takes --seed S, --faults RATE, --jobs N, --json)"
+                )))
+            }
+        }
+    }
+    let report = crate::chaos::run_chaos(&opts);
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if report.deterministic() {
+        Ok(rendered)
+    } else {
+        Err(CliError(rendered))
+    }
+}
+
 fn cmd_report(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let device = device_by_name(flag(flags, "device", "hikey970"))?;
     let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
@@ -620,6 +679,44 @@ mod tests {
             .0
             .contains("--jobs"));
         assert!(run(&["audit", "--jobs"]).unwrap_err().0.contains("--jobs"));
+    }
+
+    #[test]
+    fn chaos_drill_runs_and_passes() {
+        let out = run(&["chaos", "--seed", "2", "--faults", "0.25"]).unwrap();
+        assert!(out.contains("chaos drill: seed 2"), "{out}");
+        assert!(out.contains("worker-count determinism: PASS"), "{out}");
+        for name in [
+            "transient-retry",
+            "permanent-degrade",
+            "worker-panic",
+            "poison-recovery",
+        ] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn chaos_output_is_byte_identical_across_jobs() {
+        let one = run(&["chaos", "--seed", "7", "--jobs", "1"]).unwrap();
+        let eight = run(&["chaos", "--seed", "7", "--jobs", "8"]).unwrap();
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn chaos_json_mode_and_flag_errors() {
+        let json = run(&["chaos", "--seed", "1", "--json"]).unwrap();
+        assert!(json.contains("\"deterministic\": true"), "{json}");
+        assert!(json.contains("\"scenarios\": ["), "{json}");
+        assert!(run(&["chaos", "--faults", "1.5"])
+            .unwrap_err()
+            .0
+            .contains("--faults"));
+        assert!(run(&["chaos", "--seed"]).unwrap_err().0.contains("--seed"));
+        assert!(run(&["chaos", "--network", "alexnet"])
+            .unwrap_err()
+            .0
+            .contains("unexpected argument"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod cli;
 
 pub use pruneperf_backends as backends;
