@@ -16,5 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod micro;
 
 pub use experiments::{all_ids, run, run_many, ExperimentResult, Finding};
+pub use micro::{run_suite, BenchResult, BenchSuite, Metric, WallStats};

@@ -1,0 +1,592 @@
+//! The `pruneperf bench` micro-benchmark suite (PR 5).
+//!
+//! Five fixed benchmarks exercise the hot paths of the simulation stack:
+//!
+//! 1. **cache_hit** — repeated lookups against a warmed latency cache;
+//! 2. **cold_sweep** — a full channel sweep of ResNet-50 L16 with an
+//!    empty cache (the profiler's worst case);
+//! 3. **staircase_detect** — staircase analysis over a full-range curve;
+//! 4. **gemm_split_plan** — ACL GEMM dispatch planning across every
+//!    channel count, including the split-kernel tail shapes;
+//! 5. **resnet50_full** — one whole-network run through
+//!    [`NetworkRunner`].
+//!
+//! Each benchmark reports two kinds of numbers:
+//!
+//! * **deterministic metrics** — counts and *virtual*-time quantities
+//!   from the simulator. These are byte-identical on every machine and at
+//!   every `--jobs` count, so CI diffs them against a checked-in baseline
+//!   (`BENCH_PR5.json`) and fails on any drift;
+//! * **wall-clock stats** — warmup plus median-of-N real time via
+//!   `Instant` (legal here: the bench crate is outside the determinism
+//!   lint scope). These are informational only and never participate in
+//!   regression comparisons; `--no-wall` omits them entirely so rendered
+//!   reports can be compared byte-for-byte across worker counts.
+//!
+//! Floats render through Rust's shortest-roundtrip `Display`, so string
+//! equality of a rendered metric is bit equality of the underlying `f64`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pruneperf_backends::{AclGemm, ConvBackend};
+use pruneperf_core::Staircase;
+use pruneperf_gpusim::Device;
+use pruneperf_models::{resnet50, ConvLayerSpec};
+use pruneperf_profiler::{LatencyCache, LayerProfiler, NetworkRunner, Stats};
+
+/// Measured wall-clock repetitions per benchmark (after warmup).
+pub const WALL_RUNS: usize = 5;
+/// Untimed warmup repetitions per benchmark.
+pub const WALL_WARMUP: usize = 1;
+/// Schema version of the rendered JSON.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One deterministic metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// An exact count.
+    Count(u64),
+    /// A virtual-time / virtual-energy quantity. Rendered via `Display`
+    /// (shortest roundtrip), compared bit-exactly.
+    Float(f64),
+}
+
+impl Metric {
+    /// Renders the value as a JSON number token.
+    pub fn render(&self) -> String {
+        match self {
+            Metric::Count(v) => v.to_string(),
+            Metric::Float(v) => format!("{v}"),
+        }
+    }
+
+    /// Bit-exact equality against a parsed baseline number.
+    fn matches(&self, baseline: &serde::Value) -> bool {
+        match self {
+            Metric::Count(v) => baseline.as_u64() == Some(*v),
+            Metric::Float(v) => baseline
+                .as_f64()
+                .is_some_and(|b| b.to_bits() == v.to_bits()),
+        }
+    }
+}
+
+/// Wall-clock statistics for one benchmark: median of [`WALL_RUNS`]
+/// timed repetitions after [`WALL_WARMUP`] untimed ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallStats {
+    /// Timed repetitions.
+    pub runs: usize,
+    /// Median elapsed nanoseconds.
+    pub median_ns: u64,
+    /// Fastest repetition, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest repetition, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl WallStats {
+    /// Median elapsed milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns as f64 / 1e6
+    }
+}
+
+/// One benchmark's outcome: its deterministic metrics in a stable order,
+/// plus optional wall-clock stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable benchmark identifier.
+    pub name: &'static str,
+    /// `(metric name, value)` in render order.
+    pub metrics: Vec<(&'static str, Metric)>,
+    /// Wall-clock stats; `None` when the suite ran with wall timing off.
+    pub wall: Option<WallStats>,
+}
+
+/// The whole suite's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSuite {
+    results: Vec<BenchResult>,
+}
+
+/// Warmup + median-of-N wall timing around a workload.
+fn time_wall(mut workload: impl FnMut()) -> WallStats {
+    for _ in 0..WALL_WARMUP {
+        workload();
+    }
+    let mut samples = [0u64; WALL_RUNS];
+    for slot in &mut samples {
+        let start = Instant::now();
+        workload();
+        *slot = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+    samples.sort_unstable();
+    WallStats {
+        runs: WALL_RUNS,
+        median_ns: samples[WALL_RUNS / 2],
+        min_ns: samples[0],
+        max_ns: samples[WALL_RUNS - 1],
+    }
+}
+
+fn hikey() -> Device {
+    Device::mali_g72_hikey970()
+}
+
+fn l16() -> ConvLayerSpec {
+    resnet50()
+        .layer("ResNet.L16")
+        // lint: allow(unwrap) — the static catalog always carries L16
+        .expect("catalog has L16")
+        .clone()
+}
+
+/// Every valid pruning of `layer` down to 1 kept channel.
+fn all_prunings(layer: &ConvLayerSpec) -> Vec<ConvLayerSpec> {
+    (1..=layer.c_out())
+        .filter_map(|c| layer.with_c_out(c).ok())
+        .collect()
+}
+
+/// Benchmark 1: repeated queries against a warmed latency cache.
+fn bench_cache_hit(wall: bool) -> BenchResult {
+    const PASSES: usize = 8;
+    let device = hikey();
+    let backend = AclGemm::new();
+    let configs = all_prunings(&l16());
+    let workload = || {
+        let cache = LatencyCache::new();
+        let mut virtual_ms = 0.0f64;
+        for _ in 0..=PASSES {
+            for config in &configs {
+                virtual_ms += cache.cost(&backend, config, &device).0;
+            }
+        }
+        (cache.stats(), virtual_ms)
+    };
+    let (stats, virtual_ms) = workload();
+    BenchResult {
+        name: "cache_hit",
+        metrics: vec![
+            ("lookups", Metric::Count(stats.lookups)),
+            ("hits", Metric::Count(stats.hits)),
+            ("misses", Metric::Count(stats.misses)),
+            ("entries", Metric::Count(stats.entries as u64)),
+            ("virtual_ms", Metric::Float(virtual_ms)),
+        ],
+        wall: wall.then(|| {
+            time_wall(|| {
+                workload();
+            })
+        }),
+    }
+}
+
+/// Benchmark 2: a full channel sweep against an empty cache.
+fn bench_cold_sweep(wall: bool) -> BenchResult {
+    let device = hikey();
+    let backend = AclGemm::new();
+    let layer = l16();
+    let workload = || {
+        LayerProfiler::noiseless(&device)
+            .with_cache(Arc::new(LatencyCache::new()))
+            .with_stats(Arc::new(Stats::new()))
+            .latency_curve(&backend, &layer, 60..=128)
+    };
+    let curve = workload();
+    let total_ms: f64 = curve.series().iter().map(|&(_, ms)| ms).sum();
+    BenchResult {
+        name: "cold_sweep",
+        metrics: vec![
+            ("points", Metric::Count(curve.points().len() as u64)),
+            ("total_virtual_ms", Metric::Float(total_ms)),
+        ],
+        wall: wall.then(|| {
+            time_wall(|| {
+                workload();
+            })
+        }),
+    }
+}
+
+/// Benchmark 3: staircase detection over a full-range curve.
+fn bench_staircase_detect(wall: bool) -> BenchResult {
+    let device = hikey();
+    let backend = AclGemm::new();
+    let layer = l16();
+    // The curve is the fixture, not the workload: build it once outside
+    // the timed region so wall time measures detection alone.
+    let curve = LayerProfiler::noiseless(&device)
+        .with_cache(Arc::new(LatencyCache::new()))
+        .with_stats(Arc::new(Stats::new()))
+        .latency_curve(&backend, &layer, 1..=layer.c_out());
+    let staircase = Staircase::detect(&curve);
+    let best_ms = staircase
+        .optimal_points()
+        .iter()
+        .map(|p| p.ms)
+        .fold(f64::INFINITY, f64::min);
+    BenchResult {
+        name: "staircase_detect",
+        metrics: vec![
+            ("curve_points", Metric::Count(curve.points().len() as u64)),
+            ("steps", Metric::Count(staircase.steps().len() as u64)),
+            (
+                "optimal_points",
+                Metric::Count(staircase.optimal_points().len() as u64),
+            ),
+            ("best_ms", Metric::Float(best_ms)),
+        ],
+        wall: wall.then(|| {
+            time_wall(|| {
+                Staircase::detect(&curve);
+            })
+        }),
+    }
+}
+
+/// Benchmark 4: ACL GEMM dispatch planning across every channel count.
+fn bench_gemm_split_plan(wall: bool) -> BenchResult {
+    let device = hikey();
+    let backend = AclGemm::new();
+    let configs = all_prunings(&l16());
+    let workload = || {
+        let mut jobs = 0u64;
+        let mut split_plans = 0u64;
+        let mut arith = 0u64;
+        for config in &configs {
+            let plan = backend.plan(config, &device);
+            jobs += plan.chain().len() as u64;
+            arith += plan.chain().total_arith();
+            if plan.kernels_named("gemm_mm").count() > 1 {
+                split_plans += 1;
+            }
+        }
+        (jobs, split_plans, arith)
+    };
+    let (jobs, split_plans, arith) = workload();
+    BenchResult {
+        name: "gemm_split_plan",
+        metrics: vec![
+            ("plans", Metric::Count(configs.len() as u64)),
+            ("jobs", Metric::Count(jobs)),
+            ("split_plans", Metric::Count(split_plans)),
+            ("arith_instructions", Metric::Count(arith)),
+        ],
+        wall: wall.then(|| {
+            time_wall(|| {
+                workload();
+            })
+        }),
+    }
+}
+
+/// Benchmark 5: one whole-network ResNet-50 run.
+fn bench_resnet50_full(wall: bool) -> BenchResult {
+    let device = hikey();
+    let backend = AclGemm::new();
+    let network = resnet50();
+    let workload = || NetworkRunner::new(&device).run(&backend, &network);
+    let report = workload();
+    BenchResult {
+        name: "resnet50_full",
+        metrics: vec![
+            ("layers", Metric::Count(report.layers().len() as u64)),
+            ("total_virtual_ms", Metric::Float(report.total_ms())),
+            ("total_virtual_mj", Metric::Float(report.total_mj())),
+        ],
+        wall: wall.then(|| {
+            time_wall(|| {
+                workload();
+            })
+        }),
+    }
+}
+
+/// Runs the whole suite. With `wall` off the result carries only
+/// deterministic metrics, so two renderings compare byte-for-byte.
+pub fn run_suite(wall: bool) -> BenchSuite {
+    BenchSuite {
+        results: vec![
+            bench_cache_hit(wall),
+            bench_cold_sweep(wall),
+            bench_staircase_detect(wall),
+            bench_gemm_split_plan(wall),
+            bench_resnet50_full(wall),
+        ],
+    }
+}
+
+impl BenchSuite {
+    /// The benchmark results in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Stable-field-order JSON rendering (same hand-rendered idiom as the
+    /// analysis and chaos reports — no serializer in the render path).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"version\": {BENCH_SCHEMA_VERSION},\n"));
+        out.push_str("  \"suite\": \"pruneperf bench\",\n");
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+            out.push_str("      \"metrics\": {");
+            for (j, (key, value)) in r.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{key}\": {}", value.render()));
+            }
+            out.push('}');
+            if let Some(w) = &r.wall {
+                out.push_str(&format!(
+                    ",\n      \"wall\": {{\"runs\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                    w.runs, w.median_ns, w.min_ns, w.max_ns
+                ));
+            }
+            out.push_str("\n    }");
+            if i + 1 < self.results.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table.
+    pub fn render_human(&self) -> String {
+        let mut out = String::from("pruneperf micro-benchmark suite\n");
+        for r in &self.results {
+            out.push_str(&format!("\n[{}]\n", r.name));
+            for (key, value) in &r.metrics {
+                out.push_str(&format!("  {key:<20} {}\n", value.render()));
+            }
+            if let Some(w) = &r.wall {
+                out.push_str(&format!(
+                    "  {:<20} {:.3} ms (min {:.3}, max {:.3}, {} runs + {} warmup)\n",
+                    "wall median",
+                    w.median_ms(),
+                    w.min_ns as f64 / 1e6,
+                    w.max_ns as f64 / 1e6,
+                    w.runs,
+                    WALL_WARMUP
+                ));
+            }
+        }
+        out
+    }
+
+    /// Compares this run's deterministic metrics against a baseline
+    /// rendered by [`BenchSuite::render_json`] (wall stats, if present in
+    /// either, are ignored).
+    ///
+    /// Returns a summary line on success.
+    ///
+    /// # Errors
+    ///
+    /// One message per mismatch: unparseable baseline, missing or extra
+    /// benchmark, missing or extra metric, or a value that drifted.
+    pub fn check_against(&self, baseline_json: &str) -> Result<String, Vec<String>> {
+        let baseline: serde::Value = match serde_json::from_str(baseline_json) {
+            Ok(v) => v,
+            Err(e) => return Err(vec![format!("baseline is not valid JSON: {e}")]),
+        };
+        let Some(benchmarks) = baseline.get("benchmarks").and_then(|b| b.as_array()) else {
+            return Err(vec!["baseline has no \"benchmarks\" array".to_string()]);
+        };
+        let mut problems = Vec::new();
+        let mut compared = 0usize;
+        for r in &self.results {
+            let Some(base) = benchmarks
+                .iter()
+                .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(r.name))
+            else {
+                problems.push(format!("benchmark '{}' missing from baseline", r.name));
+                continue;
+            };
+            let Some(metrics) = base.get("metrics").and_then(|m| m.as_object()) else {
+                problems.push(format!("baseline '{}' has no \"metrics\" object", r.name));
+                continue;
+            };
+            for (key, value) in &r.metrics {
+                match metrics.iter().find(|(k, _)| k == key) {
+                    None => problems.push(format!("{}.{key}: missing from baseline", r.name)),
+                    Some((_, base_value)) if !value.matches(base_value) => {
+                        problems.push(format!(
+                            "{}.{key}: regression — baseline {}, measured {}",
+                            r.name,
+                            render_baseline(base_value),
+                            value.render()
+                        ));
+                    }
+                    Some(_) => compared += 1,
+                }
+            }
+            for (key, _) in metrics {
+                if !r.metrics.iter().any(|(k, _)| k == key) {
+                    problems.push(format!("{}.{key}: in baseline but not measured", r.name));
+                }
+            }
+        }
+        for b in benchmarks {
+            if let Some(name) = b.get("name").and_then(|n| n.as_str()) {
+                if !self.results.iter().any(|r| r.name == name) {
+                    problems.push(format!("baseline benchmark '{name}' was not run"));
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(format!(
+                "bench check: {} benchmarks, {compared} deterministic metrics match the baseline",
+                self.results.len()
+            ))
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+/// Renders a parsed baseline number back to a display token.
+fn render_baseline(value: &serde::Value) -> String {
+    if let Some(u) = value.as_u64() {
+        u.to_string()
+    } else if let Some(f) = value.as_f64() {
+        format!("{f}")
+    } else {
+        format!("{value:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(suite: &BenchSuite, bench: &str, key: &str) -> Metric {
+        suite
+            .results()
+            .iter()
+            .find(|r| r.name == bench)
+            .and_then(|r| r.metrics.iter().find(|(k, _)| *k == key))
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{bench}.{key} missing"))
+    }
+
+    #[test]
+    fn suite_covers_all_five_benchmarks_in_order() {
+        let suite = run_suite(false);
+        let names: Vec<&str> = suite.results().iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            [
+                "cache_hit",
+                "cold_sweep",
+                "staircase_detect",
+                "gemm_split_plan",
+                "resnet50_full"
+            ]
+        );
+        assert!(suite.results().iter().all(|r| r.wall.is_none()));
+    }
+
+    #[test]
+    fn deterministic_metrics_are_identical_across_runs() {
+        let a = run_suite(false);
+        let b = run_suite(false);
+        assert_eq!(a, b);
+        assert_eq!(a.render_json(), b.render_json());
+    }
+
+    #[test]
+    fn cache_hit_conserves_lookups() {
+        let suite = run_suite(false);
+        let (Metric::Count(lookups), Metric::Count(hits), Metric::Count(misses)) = (
+            metric(&suite, "cache_hit", "lookups"),
+            metric(&suite, "cache_hit", "hits"),
+            metric(&suite, "cache_hit", "misses"),
+        ) else {
+            panic!("cache_hit metrics must be counts");
+        };
+        assert_eq!(lookups, hits + misses);
+        assert!(hits >= 8 * misses, "warmed cache must be hit-dominated");
+    }
+
+    #[test]
+    fn json_parses_and_wall_toggle_controls_the_wall_key() {
+        let dry = run_suite(false).render_json();
+        let parsed: serde::Value = serde_json::from_str(&dry).expect("valid JSON");
+        let benchmarks = parsed
+            .get("benchmarks")
+            .and_then(|b| b.as_array())
+            .expect("benchmarks array");
+        assert_eq!(benchmarks.len(), 5);
+        assert!(benchmarks.iter().all(|b| b.get("wall").is_none()));
+        assert!(!dry.contains("median_ns"));
+
+        let timed = run_suite(true).render_json();
+        let parsed: serde::Value = serde_json::from_str(&timed).expect("valid JSON");
+        let benchmarks = parsed
+            .get("benchmarks")
+            .and_then(|b| b.as_array())
+            .expect("benchmarks array");
+        assert!(benchmarks.iter().all(|b| b
+            .get("wall")
+            .and_then(|w| w.get("median_ns"))
+            .and_then(|v| v.as_u64())
+            .is_some()));
+    }
+
+    #[test]
+    fn check_against_accepts_own_rendering_and_flags_drift() {
+        let suite = run_suite(false);
+        let baseline = suite.render_json();
+        let summary = suite.check_against(&baseline).expect("self-check passes");
+        assert!(summary.contains("match the baseline"), "{summary}");
+
+        // Wall stats in the baseline are ignored.
+        let timed = run_suite(true);
+        timed
+            .check_against(&baseline)
+            .expect("wall stats do not affect the check");
+
+        // A drifted count is reported as a regression.
+        let drifted = baseline.replace("\"plans\": 128", "\"plans\": 127");
+        assert_ne!(drifted, baseline, "fixture must actually change");
+        let problems = suite.check_against(&drifted).expect_err("must flag drift");
+        assert!(
+            problems.iter().any(|p| p.contains("gemm_split_plan.plans")),
+            "{problems:?}"
+        );
+
+        // A missing benchmark is reported.
+        let gutted = baseline.replace("\"name\": \"cold_sweep\"", "\"name\": \"warm_sweep\"");
+        let problems = suite.check_against(&gutted).expect_err("must flag rename");
+        assert!(
+            problems.iter().any(|p| p.contains("'cold_sweep' missing")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("'warm_sweep' was not run")),
+            "{problems:?}"
+        );
+
+        assert!(suite.check_against("not json").is_err());
+        assert!(suite.check_against("{}").is_err());
+    }
+
+    #[test]
+    fn wall_stats_are_ordered() {
+        let w = time_wall(|| {
+            std::hint::black_box(resnet50().total_macs());
+        });
+        assert_eq!(w.runs, WALL_RUNS);
+        assert!(w.min_ns <= w.median_ns && w.median_ns <= w.max_ns);
+    }
+}

@@ -2,7 +2,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use pruneperf_profiler::LatencyCurve;
+use pruneperf_profiler::{LatencyCurve, PartialCurve};
 
 /// Relative tolerance when grouping points into a step and when deciding
 /// Pareto dominance — sized to ride over the profiler's ~2% jitter.
@@ -76,6 +76,17 @@ impl Staircase {
             steps: detect_steps(curve),
             optimal: detect_optimal(curve),
         }
+    }
+
+    /// Analyzes the surviving points of a fault-degraded sweep.
+    ///
+    /// Returns `None` when the partial curve has no measured points at all
+    /// (every configuration faulted) — there is nothing to analyze, and
+    /// [`Staircase::detect`] can never see that case because a
+    /// [`LatencyCurve`] is non-empty by construction. Gapped channel
+    /// counts simply never appear as steps edges or pruning candidates.
+    pub fn detect_partial(partial: &PartialCurve) -> Option<Self> {
+        partial.curve().map(Self::detect)
     }
 
     /// The flat segments in increasing channel order.
@@ -366,6 +377,79 @@ mod tests {
         assert_eq!(s.best_within_budget(level).unwrap().channels, 4);
         // A budget genuinely below the level still excludes it.
         assert!(s.best_within_budget(level * 0.99).is_none());
+    }
+
+    /// Satellite (PR 5): an empty partial curve — every configuration
+    /// faulted — detects as `None` rather than panicking or inventing an
+    /// empty staircase.
+    #[test]
+    fn empty_partial_curve_detects_as_none() {
+        use pruneperf_profiler::{CurveGap, PartialCurve};
+        let gaps = vec![CurveGap {
+            channels: 64,
+            attempts: 4,
+            error: "permanent fault".into(),
+        }];
+        let partial = PartialCurve::new(None, gaps);
+        assert!(Staircase::detect_partial(&partial).is_none());
+        // Degenerate but legal: no curve and no gaps either.
+        assert!(Staircase::detect_partial(&PartialCurve::new(None, Vec::new())).is_none());
+    }
+
+    /// Satellite (PR 5): a single surviving point is one step and one
+    /// optimal point through the partial path too.
+    #[test]
+    fn single_point_partial_curve_detects() {
+        use pruneperf_profiler::PartialCurve;
+        let partial = PartialCurve::new(Some(curve_from(&[(48, 6.5)])), Vec::new());
+        let s = Staircase::detect_partial(&partial).expect("one point is a curve");
+        assert_eq!(s.steps().len(), 1);
+        assert_eq!(s.steps()[0].width(), 1);
+        assert_eq!(s.optimal_points().len(), 1);
+        assert_eq!(s.optimal_points()[0].channels, 48);
+    }
+
+    /// Satellite (PR 5): an all-equal curve is a single step whose only
+    /// pruning candidate is the largest channel count — pruning buys
+    /// nothing on a flat level, and the detector must say so.
+    #[test]
+    fn all_equal_levels_are_one_step_with_one_candidate() {
+        let flat: Vec<(usize, f64)> = (1..=64).map(|c| (c, 2.75)).collect();
+        let s = Staircase::detect(&curve_from(&flat));
+        assert_eq!(s.steps().len(), 1, "{s}");
+        assert_eq!(s.steps()[0].from_channels, 1);
+        assert_eq!(s.steps()[0].to_channels, 64);
+        assert!((s.steps()[0].level_ms - 2.75).abs() < 1e-12);
+        let channels: Vec<usize> = s.optimal_points().iter().map(|p| p.channels).collect();
+        assert_eq!(channels, [64], "only the right edge is optimal");
+        assert_eq!(s.max_step_gap(), None);
+    }
+
+    /// Satellite (PR 5): a one-gap `PartialCurve` detects over the
+    /// survivors, and the gapped count never shows up in any step or
+    /// candidate.
+    #[test]
+    fn one_gap_partial_curve_detects_over_survivors() {
+        use pruneperf_profiler::{CurveGap, PartialCurve};
+        let series: Vec<(usize, f64)> = (1..=32usize)
+            .filter(|&c| c != 16)
+            .map(|c| (c, if c <= 20 { 3.0 } else { 6.0 }))
+            .collect();
+        let gaps = vec![CurveGap {
+            channels: 16,
+            attempts: 4,
+            error: "transient faults exhausted the retry budget".into(),
+        }];
+        let partial = PartialCurve::new(Some(curve_from(&series)), gaps);
+        assert!(!partial.is_complete());
+        let s = Staircase::detect_partial(&partial).expect("survivors form a curve");
+        assert_eq!(s.steps().len(), 2, "{s}");
+        for step in s.steps() {
+            assert!(!(step.from_channels..=step.to_channels).is_empty());
+        }
+        let channels: Vec<usize> = s.optimal_points().iter().map(|p| p.channels).collect();
+        assert_eq!(channels, [20, 32]);
+        assert!(!channels.contains(&16), "the gap is not a candidate");
     }
 
     /// Curves with gaps (fault-injected sweeps drop unmeasurable channel

@@ -46,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Chrome Trace Event Format export of simulator timelines.
+pub mod chrome;
 mod device;
 mod engine;
 mod job;
@@ -53,6 +55,7 @@ mod kernel;
 mod metrics;
 mod trace;
 
+pub use chrome::{render_trace, ChromeEvent};
 pub use device::{Device, DeviceBuilder};
 pub use engine::Engine;
 pub use job::{Job, JobChain};

@@ -104,6 +104,44 @@ impl std::hash::Hasher for IdentityHasher {
 type Bucket = Vec<(CacheKey, (f64, f64))>;
 type Shard = HashMap<u64, Bucket, std::hash::BuildHasherDefault<IdentityHasher>>;
 
+/// Per-shard effectiveness counters, updated with relaxed atomics next to
+/// the shard they describe.
+///
+/// The counting discipline is chosen so the *totals* are a pure function
+/// of the query multiset, independent of thread schedule: every query
+/// increments `lookups` exactly once, and exactly one of `hits`, `misses`
+/// or `failures` — a lost insert race (two threads simulating the same
+/// fresh key) counts as a hit for the loser, exactly what a sequential
+/// execution of the same queries would record.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    failures: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Counter snapshot of one shard, for [`LatencyCache::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheShardStats {
+    /// Shard index in `0..16`.
+    pub shard: usize,
+    /// Queries that probed this shard.
+    pub lookups: u64,
+    /// Queries answered from this shard's memo table.
+    pub hits: u64,
+    /// Queries that had to run the simulator.
+    pub misses: u64,
+    /// Fallible queries whose backend evaluation failed (never cached).
+    pub failures: u64,
+    /// Entries dropped by [`LatencyCache::clear`], cumulative over the
+    /// cache's lifetime (clearing resets the other counters, not this).
+    pub evictions: u64,
+    /// Unique configurations currently stored in the shard.
+    pub entries: usize,
+}
+
 /// A snapshot of cache effectiveness counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -111,6 +149,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Queries that had to run the simulator.
     pub misses: u64,
+    /// Total queries, including failed fallible ones. Conservation holds
+    /// by construction: `lookups == hits + misses + failures`.
+    pub lookups: u64,
+    /// Fallible queries whose evaluation failed (never cached).
+    pub failures: u64,
+    /// Entries dropped by [`LatencyCache::clear`] over the cache lifetime.
+    pub evictions: u64,
     /// Unique (backend, device, layer) configurations currently stored.
     pub entries: usize,
 }
@@ -155,8 +200,7 @@ pub struct LatencyCache {
     /// Buckets keyed by [`key_digest`]; each holds the (rarely >1) exact
     /// keys sharing that digest so hash collisions stay correct.
     shards: Vec<Mutex<Shard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    counters: Vec<ShardCounters>,
 }
 
 impl Default for LatencyCache {
@@ -170,8 +214,7 @@ impl LatencyCache {
     pub fn new() -> Self {
         LatencyCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            counters: (0..SHARDS).map(|_| ShardCounters::default()).collect(),
         }
     }
 
@@ -207,8 +250,8 @@ impl LatencyCache {
     ///
     /// Failures are **never** cached: a transient error leaves no trace in
     /// the table, so the caller's retry re-evaluates the backend, and a
-    /// later success is memoized normally. Hit/miss counters only move on
-    /// answered queries.
+    /// later success is memoized normally. A failed evaluation counts one
+    /// `failures` (not a miss), keeping the lookup conservation law exact.
     ///
     /// # Errors
     ///
@@ -224,12 +267,21 @@ impl LatencyCache {
         if let Some(cached) = self.lookup(fingerprint, layer, device) {
             return Ok(cached);
         }
-        let computed = backend.try_cost(layer, device)?;
+        let computed = match backend.try_cost(layer, device) {
+            Ok(value) => value,
+            Err(e) => {
+                let digest = key_digest(fingerprint, device.name(), layer);
+                self.shard_counters(digest)
+                    .failures
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
         self.insert(fingerprint, layer, device, computed);
         Ok(computed)
     }
 
-    /// Probes the memo table, counting a hit when present.
+    /// Probes the memo table, counting the lookup, and a hit when present.
     fn lookup(
         &self,
         fingerprint: u64,
@@ -237,6 +289,9 @@ impl LatencyCache {
         device: &Device,
     ) -> Option<(f64, f64)> {
         let digest = key_digest(fingerprint, device.name(), layer);
+        self.shard_counters(digest)
+            .lookups
+            .fetch_add(1, Ordering::Relaxed);
         // Recover from poisoning: shard entries are pure memoized values,
         // inserted whole under the lock, so a panicked holder cannot have
         // left a torn state.
@@ -252,15 +307,20 @@ impl LatencyCache {
         });
         drop(table);
         if cached.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.shard_counters(digest)
+                .hits
+                .fetch_add(1, Ordering::Relaxed);
         }
         cached
     }
 
-    /// Memoizes one computed value, counting the miss that produced it.
+    /// Memoizes one computed value and classifies the query that produced
+    /// it: a miss when the key is new, a *hit* when another thread's insert
+    /// landed first (the lost race re-simulated, but the answer the table
+    /// would have given is identical, and counting it as a hit keeps the
+    /// hit/miss split schedule-independent).
     fn insert(&self, fingerprint: u64, layer: &ConvLayerSpec, device: &Device, value: (f64, f64)) {
         let digest = key_digest(fingerprint, device.name(), layer);
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let key = CacheKey {
             backend: fingerprint,
             device: device.name().to_string(),
@@ -271,11 +331,18 @@ impl LatencyCache {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let bucket = table.entry(digest).or_default();
-        if !bucket
+        let already_present = bucket
             .iter()
-            .any(|(k, _)| k.matches(fingerprint, device.name(), layer))
-        {
+            .any(|(k, _)| k.matches(fingerprint, device.name(), layer));
+        if !already_present {
             bucket.push((key, value));
+        }
+        drop(table);
+        let counters = self.shard_counters(digest);
+        if already_present {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -286,6 +353,11 @@ impl LatencyCache {
     /// shard split would cluster every shard's keys.
     fn shard(&self, digest: u64) -> &Mutex<Shard> {
         &self.shards[(digest >> 60) as usize & (SHARDS - 1)]
+    }
+
+    /// The counter set paired with [`LatencyCache::shard`] for `digest`.
+    fn shard_counters(&self, digest: u64) -> &ShardCounters {
+        &self.counters[(digest >> 60) as usize & (SHARDS - 1)]
     }
 
     /// Deliberately poisons every shard lock: a scoped thread takes each
@@ -330,13 +402,50 @@ impl LatencyCache {
         self.cost(backend, layer, device).1
     }
 
-    /// Current hit/miss/size counters.
+    /// Current counters, aggregated over all shards.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+        let mut agg = CacheStats {
+            hits: 0,
+            misses: 0,
+            lookups: 0,
+            failures: 0,
+            evictions: 0,
             entries: self.len(),
+        };
+        for c in &self.counters {
+            agg.hits += c.hits.load(Ordering::Relaxed);
+            agg.misses += c.misses.load(Ordering::Relaxed);
+            agg.lookups += c.lookups.load(Ordering::Relaxed);
+            agg.failures += c.failures.load(Ordering::Relaxed);
+            agg.evictions += c.evictions.load(Ordering::Relaxed);
         }
+        agg
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    ///
+    /// The per-shard split is deterministic because keys map to shards by
+    /// digest, not by thread: the same query multiset lands on the same
+    /// shards at any `--jobs` count.
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CacheShardStats {
+                shard: i,
+                lookups: c.lookups.load(Ordering::Relaxed),
+                hits: c.hits.load(Ordering::Relaxed),
+                misses: c.misses.load(Ordering::Relaxed),
+                failures: c.failures.load(Ordering::Relaxed),
+                evictions: c.evictions.load(Ordering::Relaxed),
+                entries: self.shards[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .map(Vec::len)
+                    .sum(),
+            })
+            .collect()
     }
 
     /// Number of memoized configurations.
@@ -358,14 +467,24 @@ impl LatencyCache {
         self.len() == 0
     }
 
-    /// Drops every entry and resets the counters (for tests and long-lived
-    /// processes that switch workloads).
+    /// Drops every entry and resets the query counters (for tests and
+    /// long-lived processes that switch workloads). Dropped entries
+    /// accumulate into the per-shard `evictions` counter, which survives
+    /// the reset — it records table churn over the cache's lifetime.
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        for (shard, counters) in self.shards.iter().zip(&self.counters) {
+            let mut table = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let dropped: usize = table.values().map(Vec::len).sum();
+            table.clear();
+            drop(table);
+            counters
+                .evictions
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+            counters.lookups.store(0, Ordering::Relaxed);
+            counters.hits.store(0, Ordering::Relaxed);
+            counters.misses.store(0, Ordering::Relaxed);
+            counters.failures.store(0, Ordering::Relaxed);
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -473,7 +592,8 @@ mod tests {
         assert!(cache.try_cost(&b, &layer, &d).is_err());
         assert!(cache.try_cost(&b, &layer, &d).is_err());
         assert!(cache.is_empty(), "errors must not be memoized");
-        assert_eq!(cache.stats().misses, 0, "failed queries count nothing");
+        assert_eq!(cache.stats().misses, 0, "failed queries are not misses");
+        assert_eq!(cache.stats().failures, 2, "each failed attempt counts");
         let value = cache.try_cost(&b, &layer, &d).unwrap();
         assert_eq!(value, AclGemm::new().cost(&layer, &d));
         assert_eq!(cache.stats().misses, 1);
@@ -481,6 +601,8 @@ mod tests {
         assert_eq!(cache.try_cost(&b, &layer, &d).unwrap(), value);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(b.calls.load(Ordering::Relaxed), 3);
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, stats.hits + stats.misses + stats.failures);
     }
 
     #[test]
@@ -543,10 +665,58 @@ mod tests {
         }
         assert_eq!(cache.len(), base.c_out());
         let stats = cache.stats();
-        assert_eq!(stats.hits + stats.misses, 4 * base.c_out() as u64);
+        assert_eq!(stats.lookups, 4 * base.c_out() as u64);
+        // Regression (PR 5): the hit/miss split is schedule-independent.
+        // A lost insert race counts as a hit, so exactly one miss is
+        // recorded per unique key no matter how the four threads interleave.
+        assert_eq!(stats.misses, base.c_out() as u64);
+        assert_eq!(stats.hits, 3 * base.c_out() as u64);
+        assert_eq!(stats.failures, 0);
 
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().evictions, base.c_out() as u64);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_aggregate() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        for c in 1..=64usize {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 16);
+        let agg = cache.stats();
+        assert_eq!(shards.iter().map(|s| s.lookups).sum::<u64>(), agg.lookups);
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), agg.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), agg.misses);
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<usize>(), agg.entries);
+        // Keys spread across more than one shard for a non-trivial sweep.
+        assert!(shards.iter().filter(|s| s.entries > 0).count() > 1);
+        for s in &shards {
+            assert_eq!(s.lookups, s.hits + s.misses + s.failures);
+        }
+    }
+
+    #[test]
+    fn clear_accumulates_evictions_across_generations() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        for c in 1..=10usize {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 10);
+        assert_eq!(cache.stats().lookups, 0, "query counters reset");
+        for c in 1..=4usize {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 14, "evictions are cumulative");
     }
 }

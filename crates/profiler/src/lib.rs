@@ -38,15 +38,18 @@ pub mod faults;
 mod measurement;
 mod profiler;
 mod runner;
+pub mod stats;
 pub mod sweep;
 mod timeline;
 
-pub use cache::{CacheStats, LatencyCache};
+pub use cache::{CacheShardStats, CacheStats, LatencyCache};
 pub use curve::{CurveError, CurveGap, CurvePoint, LatencyCurve, PartialCurve};
 pub use faults::{FaultKind, FaultPlan, FaultyBackend, RetryOutcome, RetryPolicy};
 pub use measurement::Measurement;
 pub use profiler::{LayerProfiler, MeasureError};
 pub use runner::{
-    FailedLayer, LayerCost, NetworkReport, NetworkRunner, PartialNetworkReport, ThermalGovernor,
+    FailedLayer, LayerCost, LayerTrace, NetworkReport, NetworkRunner, PartialNetworkReport,
+    RunTrace, ThermalGovernor,
 };
+pub use stats::{SiteCounters, Stats, StatsSnapshot};
 pub use timeline::Timeline;

@@ -9,9 +9,14 @@ use pruneperf_gpusim::{Device, Engine};
 use pruneperf_models::ConvLayerSpec;
 
 use crate::faults::{with_retry, RetryPolicy};
+use crate::stats::Stats;
 use crate::{
     sweep, CurveGap, CurvePoint, LatencyCache, LatencyCurve, Measurement, PartialCurve, Timeline,
 };
+use pruneperf_gpusim::ChromeEvent;
+
+/// Stats site label for [`LayerProfiler::try_measure`] retries.
+const SITE_TRY_MEASURE: &str = "profiler.try_measure";
 
 /// Default number of runs per configuration (§III-D).
 const DEFAULT_RUNS: usize = 10;
@@ -35,6 +40,7 @@ pub struct LayerProfiler {
     noise: bool,
     cache: Option<Arc<LatencyCache>>,
     retry: RetryPolicy,
+    stats: Option<Arc<Stats>>,
 }
 
 impl LayerProfiler {
@@ -46,6 +52,7 @@ impl LayerProfiler {
             noise: true,
             cache: None,
             retry: RetryPolicy::bounded(),
+            stats: None,
         }
     }
 
@@ -58,6 +65,7 @@ impl LayerProfiler {
             noise: false,
             cache: None,
             retry: RetryPolicy::bounded(),
+            stats: None,
         }
     }
 
@@ -80,11 +88,28 @@ impl LayerProfiler {
         self
     }
 
+    /// Records observability counters into `stats` instead of the
+    /// process-wide [`Stats::global`] registry — the isolation twin of
+    /// [`LayerProfiler::with_cache`], used by tests that assert exact
+    /// counter values.
+    pub fn with_stats(mut self, stats: Arc<Stats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
     /// The cache this profiler memoizes through.
     fn cache(&self) -> &LatencyCache {
         match &self.cache {
             Some(c) => c,
             None => LatencyCache::global(),
+        }
+    }
+
+    /// The stats registry this profiler records into.
+    fn stats(&self) -> &Stats {
+        match &self.stats {
+            Some(s) => s,
+            None => Stats::global(),
         }
     }
 
@@ -177,6 +202,12 @@ impl LayerProfiler {
         let (result, outcome) = with_retry(&self.retry, || {
             self.cache().try_cost(backend, layer, &self.device)
         });
+        self.stats().record_site(
+            SITE_TRY_MEASURE,
+            outcome.attempts as u64,
+            outcome.backoff_ms,
+            result.is_ok(),
+        );
         match result {
             Ok((base_ms, _mj)) => Ok(self.noisy_measurement(backend, layer, base_ms)),
             Err(e) => Err(MeasureError {
@@ -223,11 +254,15 @@ impl LayerProfiler {
     ) -> LatencyCurve {
         let configs: Vec<ConvLayerSpec> =
             channels.filter_map(|c| layer.with_c_out(c).ok()).collect();
-        let points: Vec<CurvePoint> =
-            sweep::ordered_parallel_map(&configs, sweep::sweep_jobs(), |pruned| CurvePoint {
+        let points: Vec<CurvePoint> = sweep::ordered_parallel_map_with_stats(
+            &configs,
+            sweep::sweep_jobs(),
+            self.stats(),
+            |pruned| CurvePoint {
                 channels: pruned.c_out(),
                 measurement: self.measure(backend, pruned),
-            });
+            },
+        );
         LatencyCurve::new(
             layer.label().to_string(),
             backend.name().to_string(),
@@ -252,20 +287,22 @@ impl LayerProfiler {
     ) -> PartialCurve {
         let configs: Vec<ConvLayerSpec> =
             channels.filter_map(|c| layer.with_c_out(c).ok()).collect();
-        let outcomes: Vec<Result<CurvePoint, CurveGap>> =
-            sweep::ordered_parallel_map(&configs, sweep::sweep_jobs(), |pruned| {
-                match self.try_measure(backend, pruned) {
-                    Ok(measurement) => Ok(CurvePoint {
-                        channels: pruned.c_out(),
-                        measurement,
-                    }),
-                    Err(e) => Err(CurveGap {
-                        channels: e.channels,
-                        attempts: e.attempts,
-                        error: e.message,
-                    }),
-                }
-            });
+        let outcomes: Vec<Result<CurvePoint, CurveGap>> = sweep::ordered_parallel_map_with_stats(
+            &configs,
+            sweep::sweep_jobs(),
+            self.stats(),
+            |pruned| match self.try_measure(backend, pruned) {
+                Ok(measurement) => Ok(CurvePoint {
+                    channels: pruned.c_out(),
+                    measurement,
+                }),
+                Err(e) => Err(CurveGap {
+                    channels: e.channels,
+                    attempts: e.attempts,
+                    error: e.message,
+                }),
+            },
+        );
         let mut points = Vec::new();
         let mut gaps = Vec::new();
         for outcome in outcomes {
@@ -282,6 +319,61 @@ impl LayerProfiler {
         )
         .ok();
         PartialCurve::new(curve, gaps)
+    }
+
+    /// Span-level Chrome trace events for a channel sweep.
+    ///
+    /// Each valid configuration is intercepted like
+    /// [`LayerProfiler::timeline`] and laid on a virtual timeline:
+    /// lane 0 carries one enclosing event per configuration (duration =
+    /// the chain's total simulated time), lane 1 carries the individual
+    /// kernel dispatches from the [`pruneperf_gpusim::ChainReport`].
+    /// Everything is virtual simulator time, so the event list is a pure
+    /// function of (backend, layer, channels) — byte-identical at any
+    /// worker count when rendered with
+    /// [`pruneperf_gpusim::render_trace`].
+    pub fn sweep_events(
+        &self,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+        channels: std::ops::RangeInclusive<usize>,
+    ) -> Vec<ChromeEvent> {
+        const PID: u64 = 0;
+        const LANE_CONFIGS: u64 = 0;
+        const LANE_KERNELS: u64 = 1;
+        let mut events = vec![
+            ChromeEvent::process_name(
+                PID,
+                &format!(
+                    "pruneperf profile {} on {} [{}]",
+                    layer.label(),
+                    self.device.name(),
+                    backend.name()
+                ),
+            ),
+            ChromeEvent::thread_name(PID, LANE_CONFIGS, "configurations"),
+            ChromeEvent::thread_name(PID, LANE_KERNELS, "kernels"),
+        ];
+        let mut offset_us = 0.0f64;
+        for config in channels.filter_map(|c| layer.with_c_out(c).ok()) {
+            let timeline = self.timeline(backend, &config);
+            let report = timeline.report();
+            events.push(
+                ChromeEvent::complete(
+                    &format!("{} ch", config.c_out()),
+                    "config",
+                    offset_us,
+                    report.total_time_us(),
+                    PID,
+                    LANE_CONFIGS,
+                )
+                .arg_num("jobs", report.counters().jobs)
+                .arg_num("kernels", report.kernels().len()),
+            );
+            events.extend(report.chrome_events(PID, LANE_KERNELS, offset_us));
+            offset_us += report.total_time_us();
+        }
+        events
     }
 }
 

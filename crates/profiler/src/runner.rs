@@ -12,12 +12,16 @@
 use std::sync::Arc;
 
 use pruneperf_backends::ConvBackend;
-use pruneperf_gpusim::Device;
+use pruneperf_gpusim::{render_trace, ChainTrace, ChromeEvent, Device, Engine};
 use pruneperf_models::Network;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{with_retry, RetryPolicy};
+use crate::stats::Stats;
 use crate::LatencyCache;
+
+/// Stats site label for [`NetworkRunner::try_run`] retries.
+const SITE_TRY_RUN: &str = "runner.try_run";
 
 /// Per-layer slice of a network run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,6 +103,7 @@ pub struct NetworkRunner {
     device: Device,
     cache: Option<Arc<LatencyCache>>,
     retry: RetryPolicy,
+    stats: Option<Arc<Stats>>,
 }
 
 impl NetworkRunner {
@@ -108,6 +113,7 @@ impl NetworkRunner {
             device: device.clone(),
             cache: None,
             retry: RetryPolicy::bounded(),
+            stats: None,
         }
     }
 
@@ -125,10 +131,24 @@ impl NetworkRunner {
         self
     }
 
+    /// Records observability counters into `stats` instead of the
+    /// process-wide [`Stats::global`] registry.
+    pub fn with_stats(mut self, stats: Arc<Stats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
     fn cache(&self) -> &LatencyCache {
         match &self.cache {
             Some(c) => c,
             None => LatencyCache::global(),
+        }
+    }
+
+    fn stats(&self) -> &Stats {
+        match &self.stats {
+            Some(s) => s,
+            None => Stats::global(),
         }
     }
 
@@ -177,6 +197,12 @@ impl NetworkRunner {
         for l in network.layers() {
             let (result, outcome) =
                 with_retry(&self.retry, || cache.try_cost(backend, l, &self.device));
+            self.stats().record_site(
+                SITE_TRY_RUN,
+                outcome.attempts as u64,
+                outcome.backoff_ms,
+                result.is_ok(),
+            );
             match result {
                 Ok((ms, mj)) => layers.push(LayerCost {
                     label: l.label().to_string(),
@@ -199,6 +225,117 @@ impl NetworkRunner {
             },
             failed,
         }
+    }
+
+    /// Executes every layer of `network` with span-level interception and
+    /// collects the per-core schedules onto one virtual timeline.
+    ///
+    /// Layers run back to back: each layer's [`ChainTrace`] is placed at
+    /// the cumulative offset of everything before it, in network order.
+    /// The result is a pure function of (backend, network, device) — the
+    /// Chrome export is byte-identical across runs and `--jobs` counts.
+    pub fn trace_run(&self, backend: &dyn ConvBackend, network: &Network) -> RunTrace {
+        let engine = Engine::new(&self.device);
+        let mut offset_us = 0.0f64;
+        let mut layers = Vec::with_capacity(network.layers().len());
+        for l in network.layers() {
+            let plan = backend.plan(l, &self.device);
+            let trace = engine.trace_chain(plan.chain());
+            let total = trace.total_us();
+            layers.push(LayerTrace {
+                label: l.label().to_string(),
+                offset_us,
+                trace,
+            });
+            offset_us += total;
+        }
+        RunTrace {
+            network: network.name().to_string(),
+            device: self.device.name().to_string(),
+            backend: backend.name().to_string(),
+            cores: self.device.cores(),
+            layers,
+            total_us: offset_us,
+        }
+    }
+}
+
+/// One layer's slice of a [`RunTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTrace {
+    /// Layer label.
+    pub label: String,
+    /// Where the layer starts on the run's virtual timeline, µs.
+    pub offset_us: f64,
+    /// The layer's per-core schedule (times relative to the layer start).
+    pub trace: ChainTrace,
+}
+
+/// Span-level trace of a whole-network run, exportable as Chrome trace
+/// JSON for `chrome://tracing` / Perfetto.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    network: String,
+    device: String,
+    backend: String,
+    cores: usize,
+    layers: Vec<LayerTrace>,
+    total_us: f64,
+}
+
+impl RunTrace {
+    /// Per-layer traces in network order.
+    pub fn layers(&self) -> &[LayerTrace] {
+        &self.layers
+    }
+
+    /// End-to-end virtual duration, µs.
+    pub fn total_us(&self) -> f64 {
+        self.total_us
+    }
+
+    /// The flattened Chrome trace events: one lane per simulated core
+    /// (kernel spans) plus a `layers` lane with one enclosing event per
+    /// network layer.
+    pub fn events(&self) -> Vec<ChromeEvent> {
+        const PID: u64 = 0;
+        let layer_lane = self.cores as u64;
+        let mut events = vec![ChromeEvent::process_name(
+            PID,
+            &format!(
+                "pruneperf run {} on {} [{}]",
+                self.network, self.device, self.backend
+            ),
+        )];
+        for core in 0..self.cores {
+            events.push(ChromeEvent::thread_name(
+                PID,
+                core as u64,
+                &format!("core {core}"),
+            ));
+        }
+        events.push(ChromeEvent::thread_name(PID, layer_lane, "layers"));
+        for layer in &self.layers {
+            events.push(
+                ChromeEvent::complete(
+                    &layer.label,
+                    "layer",
+                    layer.offset_us,
+                    layer.trace.total_us(),
+                    PID,
+                    layer_lane,
+                )
+                .arg_num("spans", layer.trace.spans().len())
+                .arg_str("device", self.device.as_str()),
+            );
+            events.extend(layer.trace.chrome_events(PID, layer.offset_us));
+        }
+        events
+    }
+
+    /// Renders [`RunTrace::events`] as a Chrome trace JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        render_trace(&self.events())
     }
 }
 
@@ -446,6 +583,42 @@ mod tests {
         for layer in partial.report().layers() {
             assert!(clean.layers().contains(layer), "{}", layer.label);
         }
+    }
+
+    #[test]
+    fn trace_run_covers_every_layer_back_to_back() {
+        let d = Device::mali_g72_hikey970();
+        let runner = NetworkRunner::new(&d);
+        let trace = runner.trace_run(&AclGemm::new(), &alexnet());
+        assert_eq!(trace.layers().len(), 5);
+        // Layers tile the timeline: each starts where the previous ended.
+        let mut expected_offset = 0.0f64;
+        for layer in trace.layers() {
+            assert!(
+                (layer.offset_us - expected_offset).abs() < 1e-9,
+                "{layer:?}"
+            );
+            expected_offset += layer.trace.total_us();
+        }
+        assert!((trace.total_us() - expected_offset).abs() < 1e-9);
+        // The run report and the trace agree on per-layer time.
+        let report = runner.run(&AclGemm::new(), &alexnet());
+        let total_ms: f64 = report.total_ms();
+        assert!((trace.total_us() / 1000.0 - total_ms).abs() / total_ms < 1e-9);
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic_and_layer_complete() {
+        let d = Device::jetson_tx2();
+        let runner = NetworkRunner::new(&d);
+        let a = runner.trace_run(&Cudnn::new(), &alexnet()).to_chrome_json();
+        let b = runner.trace_run(&Cudnn::new(), &alexnet()).to_chrome_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"traceEvents\""));
+        for l in alexnet().layers() {
+            assert!(a.contains(l.label()), "missing {}", l.label());
+        }
+        assert!(a.contains("\"layers\""));
     }
 
     #[test]

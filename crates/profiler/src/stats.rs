@@ -1,0 +1,350 @@
+//! A process-wide observability registry for the measurement stack.
+//!
+//! The paper's evidence is observational — job counts, dispatch counters,
+//! per-kernel timelines — yet until PR 5 the harness itself was opaque:
+//! cache effectiveness, retry/fault churn and sweep throughput were
+//! invisible. [`Stats`] collects those signals with relaxed atomics and a
+//! pair of coarse mutexes (the "lock-free-ish" compromise: counters on hot
+//! paths are atomic increments; site and worker breakdowns, which change a
+//! few times per run, sit behind locks).
+//!
+//! The cardinal rule is inherited from the rest of the repo: a
+//! [`StatsSnapshot`] must be **byte-identical at any `--jobs` count**.
+//! Everything in the snapshot is therefore a pure function of the work
+//! performed — totals, per-shard cache counters (keys shard by digest, not
+//! by thread) and per-site retry counts. The one inherently
+//! schedule-dependent signal, how many items each worker claimed, is
+//! deliberately *excluded* from snapshots and exposed only through the
+//! diagnostic [`Stats::worker_items`] accessor.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::cache::{CacheShardStats, LatencyCache};
+
+/// Retry/fault counters for one instrumented call site (e.g.
+/// `"profiler.try_measure"`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCounters {
+    /// Logical operations attempted at the site (one per caller-visible
+    /// call, however many retries it took).
+    pub operations: u64,
+    /// Backend attempts, summed over operations (≥ `operations`).
+    pub attempts: u64,
+    /// Extra attempts beyond the first: `attempts - operations`.
+    pub retries: u64,
+    /// Operations that ultimately succeeded.
+    pub successes: u64,
+    /// Operations that exhausted their retry budget or hit a permanent
+    /// fault.
+    pub failures: u64,
+    /// Virtual backoff accounted across all retries, integer nanoseconds.
+    ///
+    /// Stored as an integer so accumulation is associative — f64 sums
+    /// depend on addition order, which depends on thread schedule.
+    pub backoff_ns: u64,
+}
+
+impl SiteCounters {
+    /// Virtual backoff in milliseconds (the unit retry policies speak).
+    pub fn backoff_ms(&self) -> f64 {
+        self.backoff_ns as f64 / 1e6
+    }
+}
+
+/// The observability registry: cache, sweep and retry counters.
+///
+/// Most callers use the process-wide [`Stats::global`] registry, which
+/// every profiler, runner and sweep feeds by default; standalone instances
+/// exist for tests that need exact counts in isolation (attach one with
+/// [`crate::LayerProfiler::with_stats`] /
+/// [`crate::NetworkRunner::with_stats`]).
+#[derive(Debug, Default)]
+pub struct Stats {
+    sweep_items: AtomicU64,
+    sweep_panics: AtomicU64,
+    worker_items: Mutex<BTreeMap<usize, u64>>,
+    sites: Mutex<BTreeMap<String, SiteCounters>>,
+}
+
+impl Stats {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// The process-wide registry shared by every profiler and runner.
+    pub fn global() -> &'static Stats {
+        static GLOBAL: OnceLock<Stats> = OnceLock::new();
+        GLOBAL.get_or_init(Stats::new)
+    }
+
+    /// Records one worker's contribution to a sweep: `items` claimed (of
+    /// which `panics` unwound). Workers tally locally and flush once, so
+    /// the hot path stays two atomic adds plus one short-lived lock per
+    /// worker per sweep.
+    pub fn record_sweep(&self, worker: usize, items: u64, panics: u64) {
+        if items == 0 && panics == 0 {
+            return;
+        }
+        self.sweep_items.fetch_add(items, Ordering::Relaxed);
+        self.sweep_panics.fetch_add(panics, Ordering::Relaxed);
+        let mut workers = self
+            .worker_items
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *workers.entry(worker).or_insert(0) += items;
+    }
+
+    /// Records one retried operation at `site`: how many attempts it took,
+    /// the virtual backoff it accounted, and whether it ultimately
+    /// succeeded.
+    pub fn record_site(&self, site: &str, attempts: u64, backoff_ms: f64, success: bool) {
+        let mut sites = self.sites.lock().unwrap_or_else(PoisonError::into_inner);
+        let c = sites.entry(site.to_string()).or_default();
+        c.operations += 1;
+        c.attempts += attempts;
+        c.retries += attempts.saturating_sub(1);
+        if success {
+            c.successes += 1;
+        } else {
+            c.failures += 1;
+        }
+        // Policies speak integral milliseconds; round once at record time
+        // so accumulation stays associative.
+        c.backoff_ns += (backoff_ms * 1e6).round() as u64;
+    }
+
+    /// Total items claimed across all sweeps.
+    pub fn sweep_items(&self) -> u64 {
+        self.sweep_items.load(Ordering::Relaxed)
+    }
+
+    /// Total contained panics across all sweeps.
+    pub fn sweep_panics(&self) -> u64 {
+        self.sweep_panics.load(Ordering::Relaxed)
+    }
+
+    /// Per-worker claimed-item counts, in worker order.
+    ///
+    /// **Schedule-dependent**: how items distribute over workers varies
+    /// run to run, which is exactly why this is a diagnostic accessor and
+    /// never part of a [`StatsSnapshot`]. The *sum* always equals
+    /// [`Stats::sweep_items`].
+    pub fn worker_items(&self) -> Vec<(usize, u64)> {
+        self.worker_items
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&w, &n)| (w, n))
+            .collect()
+    }
+
+    /// Per-site retry counters, sorted by site name.
+    pub fn sites(&self) -> Vec<(String, SiteCounters)> {
+        self.sites
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Zeroes every counter (tests and workload switches).
+    pub fn reset(&self) {
+        self.sweep_items.store(0, Ordering::Relaxed);
+        self.sweep_panics.store(0, Ordering::Relaxed);
+        self.worker_items
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.sites
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// A deterministic snapshot of this registry without cache counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            cache: Vec::new(),
+            sweep_items: self.sweep_items(),
+            sweep_panics: self.sweep_panics(),
+            sites: self.sites(),
+        }
+    }
+
+    /// A deterministic snapshot including `cache`'s per-shard counters.
+    pub fn snapshot_with_cache(&self, cache: &LatencyCache) -> StatsSnapshot {
+        let mut snap = self.snapshot();
+        snap.cache = cache.shard_stats();
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`Stats`] registry, byte-identical at any
+/// `--jobs` count for the same work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Per-shard cache counters (empty when no cache was attached).
+    pub cache: Vec<CacheShardStats>,
+    /// Total sweep items claimed.
+    pub sweep_items: u64,
+    /// Total contained sweep panics.
+    pub sweep_panics: u64,
+    /// Per-site retry counters, sorted by site name.
+    pub sites: Vec<(String, SiteCounters)>,
+}
+
+impl StatsSnapshot {
+    /// Items that completed without panicking.
+    pub fn sweep_successes(&self) -> u64 {
+        self.sweep_items - self.sweep_panics
+    }
+
+    /// Renders the snapshot as JSON with a fixed field order and fixed
+    /// number formatting, so equal snapshots render byte-identically.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str("  \"cache\": {\n");
+        let totals = self
+            .cache
+            .iter()
+            .fold(CacheShardStats::default(), |mut acc, s| {
+                acc.lookups += s.lookups;
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.failures += s.failures;
+                acc.evictions += s.evictions;
+                acc.entries += s.entries;
+                acc
+            });
+        let _ = writeln!(
+            out,
+            "    \"totals\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"failures\": {}, \"evictions\": {}, \"entries\": {}}},",
+            totals.lookups, totals.hits, totals.misses, totals.failures, totals.evictions, totals.entries
+        );
+        out.push_str("    \"shards\": [\n");
+        for (i, s) in self.cache.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "      {{\"shard\": {}, \"lookups\": {}, \"hits\": {}, \"misses\": {}, \"failures\": {}, \"evictions\": {}, \"entries\": {}}}{}",
+                s.shard,
+                s.lookups,
+                s.hits,
+                s.misses,
+                s.failures,
+                s.evictions,
+                s.entries,
+                if i + 1 < self.cache.len() { "," } else { "" }
+            );
+        }
+        out.push_str("    ]\n  },\n");
+        let _ = writeln!(
+            out,
+            "  \"sweep\": {{\"items\": {}, \"successes\": {}, \"panics\": {}}},",
+            self.sweep_items,
+            self.sweep_successes(),
+            self.sweep_panics
+        );
+        out.push_str("  \"sites\": [\n");
+        for (i, (site, c)) in self.sites.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"site\": \"{}\", \"operations\": {}, \"attempts\": {}, \"retries\": {}, \"successes\": {}, \"failures\": {}, \"backoff_ms\": {}}}{}",
+                site,
+                c.operations,
+                c.attempts,
+                c.retries,
+                c.successes,
+                c.failures,
+                c.backoff_ms(),
+                if i + 1 < self.sites.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_totals_accumulate_and_workers_sum_to_items() {
+        let stats = Stats::new();
+        stats.record_sweep(0, 10, 1);
+        stats.record_sweep(1, 22, 0);
+        stats.record_sweep(0, 5, 2);
+        assert_eq!(stats.sweep_items(), 37);
+        assert_eq!(stats.sweep_panics(), 3);
+        let workers = stats.worker_items();
+        assert_eq!(workers, vec![(0, 15), (1, 22)]);
+        assert_eq!(
+            workers.iter().map(|(_, n)| n).sum::<u64>(),
+            stats.sweep_items()
+        );
+    }
+
+    #[test]
+    fn zero_contribution_records_nothing() {
+        let stats = Stats::new();
+        stats.record_sweep(3, 0, 0);
+        assert_eq!(stats.sweep_items(), 0);
+        assert!(stats.worker_items().is_empty());
+    }
+
+    #[test]
+    fn site_counters_conserve_attempts_and_outcomes() {
+        let stats = Stats::new();
+        stats.record_site("profiler.try_measure", 1, 0.0, true);
+        stats.record_site("profiler.try_measure", 3, 3.0, true);
+        stats.record_site("profiler.try_measure", 4, 7.0, false);
+        let sites = stats.sites();
+        assert_eq!(sites.len(), 1);
+        let c = sites[0].1;
+        assert_eq!(c.operations, 3);
+        assert_eq!(c.attempts, 8);
+        assert_eq!(c.retries, 5);
+        assert_eq!(c.successes + c.failures, c.operations);
+        assert_eq!(c.backoff_ns, 10_000_000);
+        assert!((c.backoff_ms() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_is_stable_and_excludes_worker_breakdown() {
+        let stats = Stats::new();
+        stats.record_sweep(0, 4, 1);
+        stats.record_site("runner.try_run", 2, 1.0, true);
+        let a = stats.snapshot().render_json();
+        let b = stats.snapshot().render_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"sweep\": {\"items\": 4, \"successes\": 3, \"panics\": 1}"));
+        assert!(a.contains("\"site\": \"runner.try_run\""));
+        assert!(!a.contains("worker"), "worker split is schedule-dependent");
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = Stats::new();
+        stats.record_sweep(0, 4, 1);
+        stats.record_site("x", 2, 1.0, false);
+        stats.reset();
+        assert_eq!(stats.sweep_items(), 0);
+        assert!(stats.sites().is_empty());
+        assert!(stats.worker_items().is_empty());
+    }
+
+    #[test]
+    fn snapshot_with_cache_embeds_shard_counters() {
+        let stats = Stats::new();
+        let cache = LatencyCache::new();
+        let snap = stats.snapshot_with_cache(&cache);
+        assert_eq!(snap.cache.len(), 16);
+        let json = snap.render_json();
+        assert!(json.contains("\"totals\": {\"lookups\": 0"));
+    }
+}

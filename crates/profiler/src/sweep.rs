@@ -16,6 +16,8 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::stats::Stats;
+
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "PRUNEPERF_JOBS";
 
@@ -98,6 +100,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    contained_parallel_map_with_stats(items, jobs, Stats::global(), f)
+}
+
+/// [`contained_parallel_map`] recording sweep throughput into `stats`.
+///
+/// Each worker tallies its claimed items and contained panics locally and
+/// flushes once on exit, so instrumentation adds two atomic adds and one
+/// short lock per worker per sweep — nothing per item. The plain entry
+/// points delegate here with [`Stats::global`].
+pub fn contained_parallel_map_with_stats<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    stats: &Stats,
+    f: F,
+) -> (Vec<Option<R>>, Vec<SweepPanic>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     // `f` only borrows the item and the caller observes either a result or
     // a contained panic per slot, so broken invariants cannot leak —
     // asserting unwind safety is sound here.
@@ -120,6 +142,7 @@ where
                 }
             }
         }
+        stats.record_sweep(0, items.len() as u64, panics.len() as u64);
         return (slots, panics);
     }
     let next = AtomicUsize::new(0);
@@ -127,9 +150,11 @@ where
     slots.resize_with(items.len(), || None);
     let mut panics: Vec<SweepPanic> = Vec::new();
     std::thread::scope(|scope| {
+        let next = &next;
+        let run_one = &run_one;
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut caught = Vec::new();
                     loop {
@@ -140,6 +165,11 @@ where
                             Err(p) => caught.push(p),
                         }
                     }
+                    stats.record_sweep(
+                        worker,
+                        (out.len() + caught.len()) as u64,
+                        caught.len() as u64,
+                    );
                     (out, caught)
                 })
             })
@@ -182,7 +212,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let (slots, panics) = contained_parallel_map(items, jobs, f);
+    ordered_parallel_map_with_stats(items, jobs, Stats::global(), f)
+}
+
+/// [`ordered_parallel_map`] recording sweep throughput into `stats`.
+///
+/// # Panics
+///
+/// Propagates item panics exactly like [`ordered_parallel_map`].
+pub fn ordered_parallel_map_with_stats<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    stats: &Stats,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (slots, panics) = contained_parallel_map_with_stats(items, jobs, stats, f);
     if let Some(p) = panics.first() {
         panic!(
             "sweep worker panicked on item {} of {}: {}",
@@ -286,6 +335,41 @@ mod tests {
             panics.iter().map(|p| p.index).collect::<Vec<_>>(),
             [0, 1, 2]
         );
+    }
+
+    #[test]
+    fn sweep_stats_record_items_and_panics_at_any_jobs() {
+        for jobs in [1usize, 8] {
+            let stats = Stats::new();
+            let items: Vec<usize> = (0..40).collect();
+            let (_, panics) = contained_parallel_map_with_stats(&items, jobs, &stats, |&x| {
+                assert!(x != 7, "boom {x}");
+                x
+            });
+            assert_eq!(panics.len(), 1, "jobs={jobs}");
+            assert_eq!(stats.sweep_items(), 40, "jobs={jobs}");
+            assert_eq!(stats.sweep_panics(), 1, "jobs={jobs}");
+            // The worker split varies with scheduling; its sum never does.
+            let sum: u64 = stats.worker_items().iter().map(|&(_, n)| n).sum();
+            assert_eq!(sum, stats.sweep_items(), "jobs={jobs}");
+        }
+    }
+
+    /// Satellite (PR 5): zero-item input is a no-op at every worker count —
+    /// no slots, no panics, no stats, and no stuck worker threads.
+    #[test]
+    fn zero_item_input_yields_empty_results_and_zero_stats() {
+        for jobs in [1usize, 8] {
+            let stats = Stats::new();
+            let out = ordered_parallel_map_with_stats(&[] as &[usize], jobs, &stats, |&x| x);
+            assert!(out.is_empty(), "jobs={jobs}");
+            let (slots, panics) =
+                contained_parallel_map_with_stats(&[] as &[usize], jobs, &stats, |&x| x);
+            assert!(slots.is_empty() && panics.is_empty(), "jobs={jobs}");
+            assert_eq!(stats.sweep_items(), 0, "jobs={jobs}");
+            assert_eq!(stats.sweep_panics(), 0, "jobs={jobs}");
+            assert!(stats.worker_items().is_empty(), "jobs={jobs}");
+        }
     }
 
     #[test]

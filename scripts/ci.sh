@@ -24,6 +24,17 @@ for seed in 1 2 3; do
 done
 cargo run --release -q -- chaos --seed 4 --faults 0.5 > /dev/null
 
+echo "== micro-benchmarks (regression gate + determinism) =="
+cargo run --release -q -- bench --no-wall --check BENCH_PR5.json
+cargo run --release -q -- bench --json --no-wall --jobs 1 > /tmp/pruneperf-bench-seq.json
+cargo run --release -q -- bench --json --no-wall --jobs 8 > /tmp/pruneperf-bench-par.json
+cmp /tmp/pruneperf-bench-seq.json /tmp/pruneperf-bench-par.json
+
+echo "== chrome-trace export (byte-identical across worker counts) =="
+cargo run --release -q -- chaos --seed 1 --jobs 1 --trace-out /tmp/pruneperf-trace-seq.json > /dev/null
+cargo run --release -q -- chaos --seed 1 --jobs 8 --trace-out /tmp/pruneperf-trace-par.json > /dev/null
+cmp /tmp/pruneperf-trace-seq.json /tmp/pruneperf-trace-par.json
+
 echo "== benches (compile + smoke) =="
 cargo bench -p pruneperf-bench -- --test
 

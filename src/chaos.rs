@@ -352,6 +352,23 @@ fn poison_recovery(seed: u64) -> ChaosScenario {
     }
 }
 
+/// Chrome-trace JSON of the drill's sweep workload in virtual time: the
+/// per-configuration and per-kernel spans of the ResNet-50 L16 channel
+/// sweep every fault scenario drives (`pruneperf chaos --trace-out`).
+///
+/// Built from the deterministic simulator timelines, so the rendering is
+/// byte-identical at any seed, fault rate or worker count — CI compares
+/// it across `--jobs 1` and `--jobs 8` with `cmp`.
+pub fn trace_json() -> String {
+    let device = Device::mali_g72_hikey970();
+    let profiler = LayerProfiler::noiseless(&device);
+    pruneperf_gpusim::render_trace(&profiler.sweep_events(
+        &AclGemm::new(),
+        &layer(),
+        SWEEP_CHANNELS,
+    ))
+}
+
 fn run_scenarios(opts: &ChaosOptions) -> Vec<ChaosScenario> {
     vec![
         transient_retry(opts.seed, opts.fault_rate),
@@ -452,6 +469,15 @@ mod tests {
         assert!(!text.contains("injected: 0 transient"), "{text}");
         assert!(!text.contains("\n  0 gap(s)"), "{text}");
         assert!(!text.contains("0 of 48 items panicked"), "{text}");
+    }
+
+    #[test]
+    fn trace_json_is_stable_and_covers_the_sweep() {
+        let trace = trace_json();
+        assert_eq!(trace, trace_json());
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("\"60 ch\""), "{trace}");
+        assert!(trace.contains("\"128 ch\""), "{trace}");
     }
 
     #[test]

@@ -5,13 +5,16 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use pruneperf_backends::{AclAuto, AclDirect, AclDirectTuned, AclGemm, ConvBackend, Cudnn, Tvm};
 use pruneperf_core::accuracy::AccuracyModel;
 use pruneperf_core::{report, sensitivity, PerfAwarePruner, Staircase};
-use pruneperf_gpusim::{Device, Engine};
+use pruneperf_gpusim::{render_trace, Device, Engine};
 use pruneperf_models::{alexnet, mobilenet_v1, resnet50, vgg16, Network};
-use pruneperf_profiler::{sweep, LayerProfiler, NetworkRunner, ThermalGovernor};
+use pruneperf_profiler::{
+    sweep, LatencyCache, LayerProfiler, NetworkRunner, Stats, ThermalGovernor,
+};
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +100,11 @@ fn flag<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> 
     flags.get(key).map(String::as_str).unwrap_or(default)
 }
 
+/// Writes a side-channel artifact (trace, stats snapshot, bench report).
+fn write_file(path: &str, contents: &str, what: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| err(format!("cannot write {what} to '{path}': {e}")))
+}
+
 /// The usage text.
 pub const USAGE: &str = "\
 usage: pruneperf <command> [--key value ...]
@@ -105,10 +113,13 @@ commands:
   devices                                 list the simulated devices
   networks                                list the layer catalogs
   profile   --network N --layer L [--backend B] [--device D] [--format text|csv]
-            sweep a layer's channel count and print the staircase
+            [--trace-out PATH] [--stats PATH]
+            sweep a layer's channel count and print the staircase;
+            --trace-out writes a Chrome-trace JSON of the sweep in virtual
+            time, --stats a counter-registry snapshot
   prune     --network N [--backend B] [--device D] [--budget F] [--objective latency|energy]
             run the performance-aware pruning loop
-  run       --network N [--backend B] [--device D]
+  run       --network N [--backend B] [--device D] [--trace-out PATH] [--stats PATH]
             execute every layer once; per-layer latency/energy + thermal steady state
   gantt     --network N --layer L [--backend B] [--device D] [--channels C]
             per-core schedule of one layer's dispatch plan
@@ -122,10 +133,14 @@ commands:
   audit     [--json] [--deny-warnings]
             verify whole-network dataflow (stock + pruned assemblies,
             greedy pruning plans) and audit simulator schedule traces
-  chaos     [--seed S] [--faults RATE] [--jobs N] [--json]
+  chaos     [--seed S] [--faults RATE] [--jobs N] [--json] [--trace-out PATH]
             deterministic fault-injection drill: transient-fault retries,
             permanent-fault curve gaps, contained worker panics, poisoned
             cache recovery — and a byte-identity check across worker counts
+  bench     [--json] [--no-wall] [--out PATH] [--check BASELINE]
+            fixed micro-benchmark suite; deterministic virtual metrics are
+            regression-diffed against a checked-in baseline (BENCH_PR5.json)
+            with --check, wall-clock medians ride along unless --no-wall
 
 every command also accepts --jobs N: worker threads for channel sweeps
 (default: all cores; the PRUNEPERF_JOBS environment variable overrides)
@@ -156,6 +171,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         // Boolean flags, like `lint`; also manages the worker count
         // itself (it runs at two counts and compares).
         return cmd_chaos(&args[1..]);
+    }
+    if command == "bench" {
+        // Boolean flags, like `lint`.
+        return cmd_bench(&args[1..]);
     }
     let mut flags = parse_flags(&args[1..])?;
     let jobs = match flags.remove("jobs") {
@@ -236,8 +255,25 @@ fn cmd_profile(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let device = device_by_name(flag(flags, "device", "hikey970"))?;
     let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
     let layer = layer_from_flags(flags)?;
-    let profiler = LayerProfiler::new(&device);
+    let cache = Arc::new(LatencyCache::new());
+    let stats = Arc::new(Stats::new());
+    let mut profiler = LayerProfiler::new(&device);
+    if flags.contains_key("stats") {
+        // An isolated registry, so the snapshot covers exactly this sweep.
+        profiler = profiler.with_cache(cache.clone()).with_stats(stats.clone());
+    }
     let curve = profiler.latency_curve(backend.as_ref(), &layer, 1..=layer.c_out());
+    if let Some(path) = flags.get("trace-out") {
+        let events = profiler.sweep_events(backend.as_ref(), &layer, 1..=layer.c_out());
+        write_file(path, &render_trace(&events), "Chrome trace")?;
+    }
+    if let Some(path) = flags.get("stats") {
+        write_file(
+            path,
+            &stats.snapshot_with_cache(&cache).render_json(),
+            "stats snapshot",
+        )?;
+    }
     match flag(flags, "format", "text") {
         "csv" => Ok(curve.to_csv()),
         "text" => {
@@ -302,7 +338,25 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let device = device_by_name(flag(flags, "device", "hikey970"))?;
     let backend = backend_by_name(flag(flags, "backend", "acl-gemm"))?;
     let network = network_by_name(flag(flags, "network", ""))?;
-    let report = NetworkRunner::new(&device).run(backend.as_ref(), &network);
+    let cache = Arc::new(LatencyCache::new());
+    let stats = Arc::new(Stats::new());
+    let mut runner = NetworkRunner::new(&device);
+    if flags.contains_key("stats") {
+        // An isolated registry, so the snapshot covers exactly this run.
+        runner = runner.with_cache(cache.clone()).with_stats(stats.clone());
+    }
+    let report = runner.run(backend.as_ref(), &network);
+    if let Some(path) = flags.get("trace-out") {
+        let trace = runner.trace_run(backend.as_ref(), &network);
+        write_file(path, &trace.to_chrome_json(), "Chrome trace")?;
+    }
+    if let Some(path) = flags.get("stats") {
+        write_file(
+            path,
+            &stats.snapshot_with_cache(&cache).render_json(),
+            "stats snapshot",
+        )?;
+    }
     let governor = ThermalGovernor::passive_soc();
     let mut out = format!("{:<15} {:>10} {:>10}\n", "layer", "ms", "mJ");
     for l in report.layers() {
@@ -450,11 +504,18 @@ fn cmd_audit(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
     let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut opts = crate::chaos::ChaosOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--trace-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("flag --trace-out needs a value"))?;
+                trace_out = Some(v.clone());
+            }
             "--seed" => {
                 let v = it.next().ok_or_else(|| err("flag --seed needs a value"))?;
                 opts.seed = v
@@ -480,12 +541,15 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
             }
             other => {
                 return Err(err(format!(
-                    "unexpected argument '{other}' (chaos takes --seed S, --faults RATE, --jobs N, --json)"
+                    "unexpected argument '{other}' (chaos takes --seed S, --faults RATE, --jobs N, --json, --trace-out PATH)"
                 )))
             }
         }
     }
     let report = crate::chaos::run_chaos(&opts);
+    if let Some(path) = &trace_out {
+        write_file(path, &crate::chaos::trace_json(), "Chrome trace")?;
+    }
     let rendered = if json {
         report.render_json()
     } else {
@@ -496,6 +560,69 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
     } else {
         Err(CliError(rendered))
     }
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let mut json = false;
+    let mut no_wall = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--no-wall" => no_wall = true,
+            "--out" => {
+                let v = it.next().ok_or_else(|| err("flag --out needs a value"))?;
+                out = Some(v.clone());
+            }
+            "--check" => {
+                let v = it.next().ok_or_else(|| err("flag --check needs a value"))?;
+                check = Some(v.clone());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| err("flag --jobs needs a value"))?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| err("--jobs must be a non-negative integer"))?,
+                );
+            }
+            other => {
+                return Err(err(format!(
+                    "unexpected argument '{other}' (bench takes --json, --no-wall, --out PATH, --check BASELINE, --jobs N)"
+                )))
+            }
+        }
+    }
+    sweep::set_sweep_jobs(sweep::resolve_jobs(jobs));
+    let suite = pruneperf_bench::run_suite(!no_wall);
+    if let Some(path) = &out {
+        write_file(path, &suite.render_json(), "benchmark report")?;
+    }
+    let mut rendered = if json {
+        suite.render_json()
+    } else {
+        suite.render_human()
+    };
+    if let Some(path) = &check {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read baseline '{path}': {e}")))?;
+        match suite.check_against(&baseline) {
+            Ok(summary) => {
+                if !json {
+                    rendered.push_str(&format!("\n{summary}\n"));
+                }
+            }
+            Err(problems) => {
+                return Err(CliError(format!(
+                    "bench check against '{path}' FAILED:\n  {}",
+                    problems.join("\n  ")
+                )));
+            }
+        }
+    }
+    Ok(rendered)
 }
 
 fn cmd_report(flags: &HashMap<String, String>) -> Result<String, CliError> {
@@ -717,6 +844,137 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unexpected argument"));
+    }
+
+    /// A collision-free scratch path under the system temp directory.
+    fn scratch(name: &str) -> String {
+        let path = std::env::temp_dir().join(format!("pruneperf-cli-test-{name}"));
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn bench_json_is_deterministic_across_jobs_without_wall() {
+        let one = run(&["bench", "--json", "--no-wall", "--jobs", "1"]).unwrap();
+        let eight = run(&["bench", "--json", "--no-wall", "--jobs", "8"]).unwrap();
+        assert_eq!(one, eight);
+        assert!(one.contains("\"suite\": \"pruneperf bench\""), "{one}");
+        for name in [
+            "cache_hit",
+            "cold_sweep",
+            "staircase_detect",
+            "gemm_split_plan",
+            "resnet50_full",
+        ] {
+            assert!(one.contains(name), "{one}");
+        }
+        assert!(!one.contains("median_ns"), "{one}");
+    }
+
+    #[test]
+    fn bench_out_and_check_round_trip() {
+        let path = scratch("bench-baseline.json");
+        let out = run(&["bench", "--no-wall", "--out", &path]).unwrap();
+        assert!(out.contains("[cache_hit]"), "{out}");
+        let checked = run(&["bench", "--no-wall", "--check", &path]).unwrap();
+        assert!(checked.contains("match the baseline"), "{checked}");
+
+        let baseline = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, baseline.replace("\"plans\": ", "\"plans\": 9")).unwrap();
+        let failure = run(&["bench", "--no-wall", "--check", &path]).unwrap_err();
+        assert!(failure.0.contains("FAILED"), "{failure}");
+        assert!(failure.0.contains("gemm_split_plan.plans"), "{failure}");
+        std::fs::remove_file(&path).ok();
+
+        assert!(run(&["bench", "--check", "/nonexistent/baseline.json"])
+            .unwrap_err()
+            .0
+            .contains("cannot read baseline"));
+        assert!(run(&["bench", "--network", "alexnet"])
+            .unwrap_err()
+            .0
+            .contains("unexpected argument"));
+        assert!(run(&["bench", "--out"]).unwrap_err().0.contains("--out"));
+    }
+
+    #[test]
+    fn run_trace_out_and_stats_write_artifacts() {
+        let trace = scratch("run-trace.json");
+        let stats = scratch("run-stats.json");
+        let out = run(&[
+            "run",
+            "--network",
+            "alexnet",
+            "--trace-out",
+            &trace,
+            "--stats",
+            &stats,
+        ])
+        .unwrap();
+        // Side-channel files never change the primary report.
+        assert_eq!(out, run(&["run", "--network", "alexnet"]).unwrap());
+        let trace_json = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_json.contains("\"traceEvents\""), "{trace_json}");
+        assert!(trace_json.contains("AlexNet.L0"), "{trace_json}");
+        let stats_json = std::fs::read_to_string(&stats).unwrap();
+        assert!(stats_json.contains("\"cache\""), "{stats_json}");
+        assert!(stats_json.contains("\"shards\""), "{stats_json}");
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&stats).ok();
+    }
+
+    #[test]
+    fn profile_trace_out_and_stats_write_artifacts() {
+        let trace = scratch("profile-trace.json");
+        let stats = scratch("profile-stats.json");
+        run(&[
+            "profile",
+            "--network",
+            "alexnet",
+            "--layer",
+            "AlexNet.L6",
+            "--trace-out",
+            &trace,
+            "--stats",
+            &stats,
+        ])
+        .unwrap();
+        let trace_json = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_json.contains("\"traceEvents\""), "{trace_json}");
+        assert!(trace_json.contains("configurations"), "{trace_json}");
+        let stats_json = std::fs::read_to_string(&stats).unwrap();
+        assert!(stats_json.contains("\"sweep\""), "{stats_json}");
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&stats).ok();
+        assert!(run(&[
+            "profile",
+            "--network",
+            "alexnet",
+            "--layer",
+            "AlexNet.L6",
+            "--trace-out",
+            "/nonexistent/dir/trace.json",
+        ])
+        .unwrap_err()
+        .0
+        .contains("cannot write Chrome trace"));
+    }
+
+    #[test]
+    fn chaos_trace_out_is_byte_identical_across_jobs() {
+        let a = scratch("chaos-trace-1.json");
+        let b = scratch("chaos-trace-8.json");
+        run(&["chaos", "--seed", "3", "--jobs", "1", "--trace-out", &a]).unwrap();
+        run(&["chaos", "--seed", "3", "--jobs", "8", "--trace-out", &b]).unwrap();
+        let one = std::fs::read_to_string(&a).unwrap();
+        let eight = std::fs::read_to_string(&b).unwrap();
+        assert_eq!(one, eight);
+        assert!(one.contains("\"traceEvents\""), "{one}");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+        assert!(run(&["chaos", "--trace-out"])
+            .unwrap_err()
+            .0
+            .contains("--trace-out"));
     }
 
     #[test]

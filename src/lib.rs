@@ -40,6 +40,7 @@ pub mod chaos;
 pub mod cli;
 
 pub use pruneperf_backends as backends;
+pub use pruneperf_bench as bench;
 pub use pruneperf_core as core;
 pub use pruneperf_gpusim as gpusim;
 pub use pruneperf_models as models;
