@@ -135,10 +135,19 @@ pub trait ConvBackend: Send + Sync {
 
     /// Plans and executes the layer once, returning `(latency ms, energy mJ)`
     /// from the same simulated run — the unit of work a latency cache stores.
+    ///
+    /// The contract every implementation (and override) must keep:
+    /// `cost` equals planning the layer and simulating the resulting chain.
+    /// The profiler's latency cache relies on this to reconstruct costs
+    /// incrementally from [`ConvBackend::plan`] plus memoized per-kernel
+    /// engine costs; a backend whose `cost` diverged from its own plan
+    /// would silently disagree with that path. The default uses the
+    /// engine's allocation-free [`Engine::chain_cost`], which is bitwise
+    /// identical to the `run_chain` report totals.
     fn cost(&self, layer: &ConvLayerSpec, device: &Device) -> (f64, f64) {
         let plan = self.plan(layer, device);
-        let report = Engine::new(device).run_chain(plan.chain());
-        (report.total_time_ms(), report.total_energy_mj())
+        let cost = Engine::new(device).chain_cost(plan.chain());
+        (cost.total_time_ms(), cost.total_energy_mj())
     }
 
     /// Fallible twin of [`ConvBackend::cost`].
@@ -246,6 +255,35 @@ mod tests {
             assert_eq!(
                 backend.try_cost(&layer, &device),
                 Ok(backend.cost(&layer, &device)),
+                "{}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_is_bitwise_identical_to_full_simulation() {
+        // The trait contract: cost == plan + simulate, bit for bit, for
+        // every backend — the cache's incremental path depends on it.
+        let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+        for backend in all_backends() {
+            let device = if backend.name().contains("cuDNN") {
+                Device::jetson_tx2()
+            } else {
+                Device::mali_g72_hikey970()
+            };
+            let (ms, mj) = backend.cost(&layer, &device);
+            let plan = backend.plan(&layer, &device);
+            let report = Engine::new(&device).run_chain(plan.chain());
+            assert_eq!(
+                ms.to_bits(),
+                report.total_time_ms().to_bits(),
+                "{}",
+                backend.name()
+            );
+            assert_eq!(
+                mj.to_bits(),
+                report.total_energy_mj().to_bits(),
                 "{}",
                 backend.name()
             );

@@ -14,9 +14,14 @@
 //! Each benchmark reports two kinds of numbers:
 //!
 //! * **deterministic metrics** — counts and *virtual*-time quantities
-//!   from the simulator. These are byte-identical on every machine and at
+//!   from the simulator, plus (since PR 6) the latency cache's
+//!   engine-activity counters, which prove the incremental simulation
+//!   path is doing its job: `engine_runs` counts full cold simulations,
+//!   `chains_assembled` counts layer costs rebuilt from memoized kernel
+//!   costs, and `kernel_memo_hits` counts per-kernel queries answered
+//!   without the engine. These are byte-identical on every machine and at
 //!   every `--jobs` count, so CI diffs them against a checked-in baseline
-//!   (`BENCH_PR5.json`) and fails on any drift;
+//!   (`BENCH_PR6.json`) and fails on any drift;
 //! * **wall-clock stats** — warmup plus median-of-N real time via
 //!   `Instant` (legal here: the bench crate is outside the determinism
 //!   lint scope). These are informational only and never participate in
@@ -33,14 +38,14 @@ use pruneperf_backends::{AclGemm, ConvBackend};
 use pruneperf_core::Staircase;
 use pruneperf_gpusim::Device;
 use pruneperf_models::{resnet50, ConvLayerSpec};
-use pruneperf_profiler::{LatencyCache, LayerProfiler, NetworkRunner, Stats};
+use pruneperf_profiler::{EngineStats, LatencyCache, LayerProfiler, NetworkRunner, Stats};
 
 /// Measured wall-clock repetitions per benchmark (after warmup).
 pub const WALL_RUNS: usize = 5;
 /// Untimed warmup repetitions per benchmark.
 pub const WALL_WARMUP: usize = 1;
 /// Schema version of the rendered JSON.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// One deterministic metric value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,25 +189,42 @@ fn bench_cache_hit(wall: bool) -> BenchResult {
     }
 }
 
+/// Appends the cache's engine-activity counters to a metric list. The
+/// `engine_runs`/`chains_assembled` split is the regression gate for the
+/// incremental path: a change that silently falls back to cold simulation
+/// moves `engine_runs` off its baseline and fails `--check`.
+fn push_engine_metrics(metrics: &mut Vec<(&'static str, Metric)>, engine: EngineStats) {
+    metrics.push(("chains_assembled", Metric::Count(engine.chains_assembled)));
+    metrics.push(("engine_runs", Metric::Count(engine.engine_runs)));
+    metrics.push(("kernel_lookups", Metric::Count(engine.kernel_lookups)));
+    metrics.push(("kernel_memo_hits", Metric::Count(engine.kernel_memo_hits())));
+    metrics.push(("kernel_evals", Metric::Count(engine.kernel_evals)));
+}
+
 /// Benchmark 2: a full channel sweep against an empty cache.
 fn bench_cold_sweep(wall: bool) -> BenchResult {
     let device = hikey();
     let backend = AclGemm::new();
     let layer = l16();
     let workload = || {
-        LayerProfiler::noiseless(&device)
-            .with_cache(Arc::new(LatencyCache::new()))
+        let cache = Arc::new(LatencyCache::new());
+        let curve = LayerProfiler::noiseless(&device)
+            .with_cache(Arc::clone(&cache))
             .with_stats(Arc::new(Stats::new()))
-            .latency_curve(&backend, &layer, 60..=128)
+            .latency_curve(&backend, &layer, 60..=128);
+        let engine = cache.engine_stats();
+        (curve, engine)
     };
-    let curve = workload();
+    let (curve, engine) = workload();
     let total_ms: f64 = curve.series().iter().map(|&(_, ms)| ms).sum();
+    let mut metrics = vec![
+        ("points", Metric::Count(curve.points().len() as u64)),
+        ("total_virtual_ms", Metric::Float(total_ms)),
+    ];
+    push_engine_metrics(&mut metrics, engine);
     BenchResult {
         name: "cold_sweep",
-        metrics: vec![
-            ("points", Metric::Count(curve.points().len() as u64)),
-            ("total_virtual_ms", Metric::Float(total_ms)),
-        ],
+        metrics,
         wall: wall.then(|| {
             time_wall(|| {
                 workload();
@@ -284,19 +306,31 @@ fn bench_gemm_split_plan(wall: bool) -> BenchResult {
 }
 
 /// Benchmark 5: one whole-network ResNet-50 run.
+///
+/// Runs against a fresh local cache (not the process-wide one) so the
+/// engine counters are a pure function of this benchmark's work; the
+/// virtual metrics are bitwise-unaffected by where the cache lives.
 fn bench_resnet50_full(wall: bool) -> BenchResult {
     let device = hikey();
     let backend = AclGemm::new();
     let network = resnet50();
-    let workload = || NetworkRunner::new(&device).run(&backend, &network);
-    let report = workload();
+    let workload = || {
+        let cache = Arc::new(LatencyCache::new());
+        let report = NetworkRunner::new(&device)
+            .with_cache(Arc::clone(&cache))
+            .run(&backend, &network);
+        (report, cache.engine_stats())
+    };
+    let (report, engine) = workload();
+    let mut metrics = vec![
+        ("layers", Metric::Count(report.layers().len() as u64)),
+        ("total_virtual_ms", Metric::Float(report.total_ms())),
+        ("total_virtual_mj", Metric::Float(report.total_mj())),
+    ];
+    push_engine_metrics(&mut metrics, engine);
     BenchResult {
         name: "resnet50_full",
-        metrics: vec![
-            ("layers", Metric::Count(report.layers().len() as u64)),
-            ("total_virtual_ms", Metric::Float(report.total_ms())),
-            ("total_virtual_mj", Metric::Float(report.total_mj())),
-        ],
+        metrics,
         wall: wall.then(|| {
             time_wall(|| {
                 workload();
@@ -450,6 +484,47 @@ impl BenchSuite {
             Err(problems)
         }
     }
+
+    /// Informational wall-clock comparison against a baseline rendering.
+    ///
+    /// Returns one line per benchmark where both this run and the baseline
+    /// carry wall stats, or `None` when no benchmark is comparable (e.g.
+    /// either side ran with `--no-wall`). Never part of the `--check`
+    /// gate: wall time is machine- and load-dependent by nature.
+    pub fn wall_delta_against(&self, baseline_json: &str) -> Option<String> {
+        let baseline: serde::Value = serde_json::from_str(baseline_json).ok()?;
+        let benchmarks = baseline.get("benchmarks")?.as_array()?;
+        let mut lines = Vec::new();
+        for r in &self.results {
+            let Some(w) = &r.wall else { continue };
+            let base_ns = benchmarks
+                .iter()
+                .find(|b| b.get("name").and_then(|n| n.as_str()) == Some(r.name))
+                .and_then(|b| b.get("wall"))
+                .and_then(|bw| bw.get("median_ns"))
+                .and_then(|v| v.as_u64());
+            let Some(base_ns) = base_ns else { continue };
+            if base_ns == 0 {
+                continue;
+            }
+            let delta = (w.median_ns as f64 / base_ns as f64 - 1.0) * 100.0;
+            lines.push(format!(
+                "{}: median {:.3} ms vs baseline {:.3} ms ({:+.1}%)",
+                r.name,
+                w.median_ms(),
+                base_ns as f64 / 1e6,
+                delta
+            ));
+        }
+        if lines.is_empty() {
+            None
+        } else {
+            Some(format!(
+                "wall-clock vs baseline (informational, never gating):\n  {}",
+                lines.join("\n  ")
+            ))
+        }
+    }
 }
 
 /// Renders a parsed baseline number back to a display token.
@@ -579,6 +654,54 @@ mod tests {
 
         assert!(suite.check_against("not json").is_err());
         assert!(suite.check_against("{}").is_err());
+    }
+
+    #[test]
+    fn incremental_path_eliminates_full_engine_runs() {
+        // The PR 6 acceptance gate: the cold path used to run one full
+        // engine chain per point/layer; the incremental path must cut
+        // that by at least 5× (here: to zero — every cost is assembled
+        // from memoized kernel costs).
+        let suite = run_suite(false);
+        for bench in ["cold_sweep", "resnet50_full"] {
+            let (Metric::Count(assembled), Metric::Count(runs)) = (
+                metric(&suite, bench, "chains_assembled"),
+                metric(&suite, bench, "engine_runs"),
+            ) else {
+                panic!("{bench} engine counters must be counts");
+            };
+            assert!(assembled > 0, "{bench}: nothing was assembled");
+            assert!(
+                5 * runs <= assembled,
+                "{bench}: engine runs not reduced >=5x ({runs} runs vs {assembled} cold-path chains)"
+            );
+            assert_eq!(runs, 0, "{bench}: the infallible path never runs cold");
+            let (Metric::Count(lookups), Metric::Count(evals), Metric::Count(hits)) = (
+                metric(&suite, bench, "kernel_lookups"),
+                metric(&suite, bench, "kernel_evals"),
+                metric(&suite, bench, "kernel_memo_hits"),
+            ) else {
+                panic!("{bench} kernel counters must be counts");
+            };
+            assert_eq!(lookups, evals + hits);
+            assert!(hits > 0, "{bench}: the kernel memo was never reused");
+        }
+    }
+
+    #[test]
+    fn wall_delta_is_informational_and_tolerant() {
+        let timed = run_suite(true);
+        let baseline = timed.render_json();
+        let delta = timed
+            .wall_delta_against(&baseline)
+            .expect("both sides carry wall stats");
+        assert!(delta.contains("informational"));
+        assert!(delta.contains("cold_sweep"));
+        // A wall-less side yields no delta rather than an error.
+        let dry = run_suite(false);
+        assert!(dry.wall_delta_against(&baseline).is_none());
+        assert!(timed.wall_delta_against(&dry.render_json()).is_none());
+        assert!(timed.wall_delta_against("not json").is_none());
     }
 
     #[test]

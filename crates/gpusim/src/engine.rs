@@ -1,6 +1,3 @@
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::{ChainReport, Device, JobChain, KernelDesc, KernelReport, SystemCounters};
 
 /// Executes job chains on a [`Device`] and produces timing plus counters.
@@ -25,9 +22,98 @@ use crate::{ChainReport, Device, JobChain, KernelDesc, KernelReport, SystemCount
 /// Job overheads (dispatch, separate submission) are CPU-side and serialize
 /// with GPU execution, matching the paper's observation that “additional job
 /// creation and dispatch … adds to the initialization cost on the GPU”.
+///
+/// # Cost vs. report paths
+///
+/// [`Engine::run_chain`] produces a full [`ChainReport`] (per-kernel
+/// timeline entries with owned name strings). Callers that only need the
+/// chain totals — the profiler's sweep loops issue tens of thousands of
+/// such queries per `repro all` — should use [`Engine::chain_cost`] /
+/// [`Engine::chain_cost_by`], which accumulate the same numbers in the
+/// same order without allocating, so the results are bitwise identical to
+/// the corresponding report totals.
 #[derive(Debug, Clone)]
 pub struct Engine<'d> {
     device: &'d Device,
+}
+
+/// Cost of one kernel on one device: the three scalars `run_chain` derives
+/// per kernel beyond the kernel's own static instruction counts.
+///
+/// This is the unit the profiler memoizes for incremental sweeps: two
+/// kernels that agree on every cost-relevant descriptor field
+/// ([`KernelDesc::cost_equivalent`]) have bitwise-equal `KernelCost`s on
+/// the same device, so a memoized cost can stand in for a recomputed one
+/// without perturbing any downstream float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// GPU execution time in µs (`gpu_cycles / clock_mhz`).
+    pub gpu_us: f64,
+    /// Exact (unrounded) GPU cycle count: `wg_cycles × waves`.
+    pub gpu_cycles: f64,
+    /// Kernel energy in µJ: arithmetic ops plus post-cache DRAM traffic.
+    pub energy_uj: f64,
+}
+
+/// Aggregate cost of a job chain: the allocation-free counterpart of
+/// [`ChainReport`] for callers that only need totals.
+///
+/// Produced by [`Engine::chain_cost`] / [`Engine::chain_cost_by`]. Fields
+/// accumulate in the same order as `run_chain`, so [`Self::total_time_ms`]
+/// and [`Self::total_energy_mj`] are bitwise identical to the
+/// corresponding [`ChainReport`] accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChainCost {
+    /// End-to-end chain latency in µs, including dispatch overheads.
+    pub total_time_us: f64,
+    /// Sum of per-kernel energies in µJ, accumulated in chain order.
+    pub kernel_energy_uj: f64,
+    /// CPU/driver energy spent dispatching the chain, µJ.
+    pub dispatch_energy_uj: f64,
+}
+
+impl ChainCost {
+    /// End-to-end chain latency in milliseconds (the figures' unit).
+    pub fn total_time_ms(&self) -> f64 {
+        self.total_time_us / 1000.0
+    }
+
+    /// Total energy of the chain (GPU kernels + dispatch), millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        (self.kernel_energy_uj + self.dispatch_energy_uj) / 1000.0
+    }
+}
+
+/// Reusable struct-of-arrays scratch for chain simulation.
+///
+/// Per-kernel costs are stored as parallel columns indexed by job
+/// position, and the list scheduler's core-load array lives here too.
+/// Capacity is retained across calls, so a caller that threads one
+/// scratch through a sweep loop ([`Engine::run_chain_with`],
+/// [`Engine::makespan_cycles_with`]) does no per-run allocation in the
+/// simulation hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct ChainScratch {
+    gpu_us: Vec<f64>,
+    gpu_cycles: Vec<f64>,
+    energy_uj: Vec<f64>,
+    core_loads: Vec<f64>,
+}
+
+impl ChainScratch {
+    /// An empty scratch; columns grow on first use and are then reused.
+    pub fn new() -> Self {
+        ChainScratch::default()
+    }
+
+    fn reset(&mut self, len: usize) {
+        self.gpu_us.clear();
+        self.gpu_cycles.clear();
+        self.energy_uj.clear();
+        self.gpu_us.reserve(len);
+        self.gpu_cycles.reserve(len);
+        self.energy_uj.reserve(len);
+    }
 }
 
 impl<'d> Engine<'d> {
@@ -42,6 +128,27 @@ impl<'d> Engine<'d> {
     }
 
     /// Cycles one workgroup of `kernel` takes on this device.
+    ///
+    /// # Partial dispatches (`workgroup_count < cores`)
+    ///
+    /// The two occupancy-dependent terms intentionally use different
+    /// denominators, and the asymmetry is the model, not an accident:
+    ///
+    /// * **bandwidth share** divides DRAM bandwidth over the *occupied*
+    ///   cores (`cores.min(workgroup_count)`): idle cores issue no
+    ///   traffic, so a 6-workgroup dispatch on a 12-core device gives
+    ///   each occupied core a 2× share and the dispatch as a whole still
+    ///   sees full aggregate bandwidth;
+    /// * **latency hiding** uses the per-core residency of the *busiest*
+    ///   core (`workgroup_count.div_ceil(cores)`, capped by the
+    ///   resident-thread budget). The busiest core is the one that
+    ///   determines the makespan, and in the uneven regime
+    ///   (`cores < workgroup_count < 2·cores`) it really does hold two
+    ///   workgroups whose warps hide each other's latency — costing every
+    ///   workgroup at the busiest core's residency is a deliberate,
+    ///   slightly optimistic-on-stall / exact-on-critical-path choice.
+    ///
+    /// `partial_dispatch_tests` pins both behaviours.
     fn workgroup_cycles(&self, kernel: &KernelDesc) -> f64 {
         let d = self.device;
         let wg_size = kernel.workgroup_size();
@@ -89,19 +196,50 @@ impl<'d> Engine<'d> {
     /// Event-driven list scheduling for *heterogeneous* workgroup costs:
     /// assigns each cost to the earliest-available core and returns the
     /// makespan in cycles. Exposed for extensions (asymmetric core
-    /// clusters, fused multi-kernel dispatches); for uniform costs it
-    /// matches [`Engine::kernel_time_us`]'s wave formula exactly.
+    /// clusters, fused multi-kernel dispatches).
+    ///
+    /// Core loads accumulate exactly in `f64` — no quantization, no
+    /// integer saturation. (An earlier implementation rounded each cost to
+    /// integer milli-cycles, which truncated sub-milli-cycle costs to zero
+    /// and silently saturated `u64` for huge ones.) Bitwise-uniform cost
+    /// lists take a closed-form path, so the result is *exactly*
+    /// `cost × ceil(len / cores)` — the wave formula behind
+    /// [`Engine::kernel_time_us`].
     pub fn makespan_cycles(&self, wg_costs: &[f64]) -> f64 {
+        self.makespan_cycles_with(wg_costs, &mut ChainScratch::new())
+    }
+
+    /// [`Engine::makespan_cycles`] with caller-owned scratch, so repeated
+    /// scheduling (sweep loops, benches) reuses the core-load array.
+    pub fn makespan_cycles_with(&self, wg_costs: &[f64], scratch: &mut ChainScratch) -> f64 {
+        let Some((&first, rest)) = wg_costs.split_first() else {
+            return 0.0;
+        };
         let cores = self.device.cores();
-        let mut heap: BinaryHeap<Reverse<u64>> = (0..cores).map(|_| Reverse(0u64)).collect();
-        // Work in integer milli-cycles to keep the heap ordering total.
-        for &cost in wg_costs {
-            let step = (cost * 1024.0).round() as u64;
-            // lint: allow(unwrap) — one entry per core, every pop is re-pushed
-            let Reverse(t) = heap.pop().expect("cores is non-zero");
-            heap.push(Reverse(t + step));
+        if rest.iter().all(|c| c.to_bits() == first.to_bits()) {
+            // Uniform costs: closed-form wave makespan, exact by
+            // construction rather than by accumulation.
+            let waves = wg_costs.len().div_ceil(cores);
+            return first * waves as f64;
         }
-        heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0) as f64 / 1024.0
+        let loads = &mut scratch.core_loads;
+        loads.clear();
+        loads.resize(cores, 0.0);
+        for &cost in wg_costs {
+            // Earliest-available core. Among tied minima any choice yields
+            // the same load multiset (hence the same makespan); taking the
+            // lowest index keeps the schedule deterministic.
+            let mut min_core = 0;
+            let mut min_load = loads[0];
+            for (i, &load) in loads.iter().enumerate().skip(1) {
+                if load < min_load {
+                    min_core = i;
+                    min_load = load;
+                }
+            }
+            loads[min_core] += cost;
+        }
+        loads.iter().fold(0.0f64, |acc, &l| acc.max(l))
     }
 
     /// Runs one kernel in isolation and reports its GPU time in µs
@@ -110,10 +248,78 @@ impl<'d> Engine<'d> {
         self.kernel_cycles(kernel) / self.device.clock_mhz() as f64
     }
 
+    /// Full per-kernel cost: time, exact cycles and energy in one pass.
+    ///
+    /// `gpu_cycles` is the exact `wg_cycles × waves` product — reports
+    /// carry it through directly instead of re-deriving it from µs, which
+    /// was a lossy round-trip that could drift by ±1 cycle.
+    pub fn kernel_cost(&self, kernel: &KernelDesc) -> KernelCost {
+        let d = self.device;
+        let gpu_cycles = self.kernel_cycles(kernel);
+        let gpu_us = gpu_cycles / d.clock_mhz() as f64;
+        // Energy: ops + DRAM traffic. (pJ * count / 1e6 -> µJ.)
+        let dram_bytes =
+            kernel.total_mem() as f64 * kernel.bytes_per_mem() as f64 * (1.0 - kernel.cache_hit());
+        let energy_uj =
+            (kernel.total_arith() as f64 * d.pj_per_op() + dram_bytes * d.pj_per_dram_byte()) / 1e6;
+        KernelCost {
+            gpu_us,
+            gpu_cycles,
+            energy_uj,
+        }
+    }
+
+    /// Chain totals with per-kernel costs supplied by `cost_of` — the
+    /// incremental-profiling entry point: a memo can answer for kernels it
+    /// has already costed and fall back to [`Engine::kernel_cost`] for the
+    /// rest. Accumulation order matches [`Engine::run_chain`] exactly, so
+    /// feeding back memoized [`KernelCost`]s reproduces the cold totals
+    /// bit for bit.
+    pub fn chain_cost_by<F>(&self, chain: &JobChain, mut cost_of: F) -> ChainCost
+    where
+        F: FnMut(&KernelDesc) -> KernelCost,
+    {
+        let d = self.device;
+        let mut total = ChainCost::default();
+        for (kernel, own_submission) in chain.iter() {
+            let mut overhead = d.job_dispatch_us();
+            if own_submission {
+                overhead += d.job_sync_us();
+            }
+            let cost = cost_of(kernel);
+            total.total_time_us += overhead + cost.gpu_us;
+            // mW * µs = nJ; / 1000 -> µJ.
+            total.dispatch_energy_uj += d.dispatch_mw() * overhead / 1e6;
+            total.kernel_energy_uj += cost.energy_uj;
+        }
+        total
+    }
+
+    /// Chain totals without building a report: no strings, no vectors.
+    /// Bitwise identical to the totals of [`Engine::run_chain`].
+    pub fn chain_cost(&self, chain: &JobChain) -> ChainCost {
+        self.chain_cost_by(chain, |k| self.kernel_cost(k))
+    }
+
     /// Executes a chain of dependent jobs and reports the full timeline,
     /// instruction counts and system-level counters.
     pub fn run_chain(&self, chain: &JobChain) -> ChainReport {
+        self.run_chain_with(chain, &mut ChainScratch::new())
+    }
+
+    /// [`Engine::run_chain`] with caller-owned scratch: per-kernel costs
+    /// are computed into the scratch's struct-of-arrays columns first and
+    /// the report is assembled from them, so loops that trace many chains
+    /// (timelines, sweep events) reuse the cost buffers across calls.
+    pub fn run_chain_with(&self, chain: &JobChain, scratch: &mut ChainScratch) -> ChainReport {
         let d = self.device;
+        scratch.reset(chain.len());
+        for (kernel, _) in chain.iter() {
+            let cost = self.kernel_cost(kernel);
+            scratch.gpu_us.push(cost.gpu_us);
+            scratch.gpu_cycles.push(cost.gpu_cycles);
+            scratch.energy_uj.push(cost.energy_uj);
+        }
         let mut now_us = 0.0f64;
         let mut kernels = Vec::with_capacity(chain.len());
         let mut counters = SystemCounters::default();
@@ -121,25 +327,17 @@ impl<'d> Engine<'d> {
         if !chain.is_empty() {
             counters.submissions = 1;
         }
-        for job in chain.jobs() {
+        for (i, job) in chain.jobs().iter().enumerate() {
             let kernel = job.kernel();
             let mut overhead = d.job_dispatch_us();
             if job.needs_own_submission() {
                 overhead += d.job_sync_us();
                 counters.submissions += 1;
             }
-            let gpu_us = self.kernel_time_us(kernel);
             let start = now_us;
-            now_us += overhead + gpu_us;
-            // Energy: ops + DRAM traffic + CPU time spent dispatching.
-            // (mW * µs = nJ; / 1000 -> µJ. pJ * count / 1e6 -> µJ.)
+            now_us += overhead + scratch.gpu_us[i];
+            // CPU time spent dispatching. (mW * µs = nJ; / 1000 -> µJ.)
             dispatch_energy_uj += d.dispatch_mw() * overhead / 1e6;
-            let dram_bytes = kernel.total_mem() as f64
-                * kernel.bytes_per_mem() as f64
-                * (1.0 - kernel.cache_hit());
-            let energy_uj = (kernel.total_arith() as f64 * d.pj_per_op()
-                + dram_bytes * d.pj_per_dram_byte())
-                / 1e6;
             counters.jobs += 1;
             counters.interrupts += 1;
             counters.ctrl_reg_writes += d.ctrl_writes_per_job();
@@ -148,12 +346,12 @@ impl<'d> Engine<'d> {
                 name: kernel.name().to_string(),
                 start_us: start,
                 end_us: now_us,
-                gpu_cycles: (gpu_us * d.clock_mhz() as f64).round() as u64,
+                gpu_cycles: scratch.gpu_cycles[i].round() as u64,
                 arith_instructions: kernel.total_arith(),
                 mem_instructions: kernel.total_mem(),
                 workgroups: kernel.workgroup_count(),
                 footprint_bytes: kernel.footprint_bytes(),
-                energy_uj,
+                energy_uj: scratch.energy_uj[i],
             });
         }
         ChainReport::new(kernels, counters, now_us, dispatch_energy_uj)
@@ -342,6 +540,89 @@ mod tests {
         let t_nano = Engine::new(&nano).kernel_time_us(&k);
         assert!(t_nano > t_tx2 * 1.5, "nano {t_nano} tx2 {t_tx2}");
     }
+
+    #[test]
+    fn gpu_cycles_are_carried_not_rederived() {
+        // Reports must round the exact cycle product, not a µs round-trip.
+        let d = device();
+        let e = Engine::new(&d);
+        let k = compute_kernel(4096, 12_345);
+        let r = e.run_chain(&JobChain::from_kernels(vec![k.clone()]));
+        let cost = e.kernel_cost(&k);
+        assert_eq!(r.kernels()[0].gpu_cycles, cost.gpu_cycles.round() as u64);
+        let waves = k.workgroup_count().div_ceil(d.cores());
+        let exact = e.workgroup_cycles(&k) * waves as f64;
+        assert_eq!(cost.gpu_cycles.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn chain_cost_is_bitwise_identical_to_run_chain() {
+        let d = device();
+        let e = Engine::new(&d);
+        let mut chain = JobChain::from_kernels(vec![
+            compute_kernel(1024, 100),
+            compute_kernel(4096, 777),
+            KernelDesc::builder("mem")
+                .global([2048, 1, 1])
+                .local([32, 1, 1])
+                .mem_per_item(64)
+                .cache_hit(0.5)
+                .build(),
+        ]);
+        chain.push(Job::with_own_submission(compute_kernel(64, 10)));
+        let report = e.run_chain(&chain);
+        let cost = e.chain_cost(&chain);
+        assert_eq!(
+            cost.total_time_ms().to_bits(),
+            report.total_time_ms().to_bits()
+        );
+        assert_eq!(
+            cost.total_energy_mj().to_bits(),
+            report.total_energy_mj().to_bits()
+        );
+        assert_eq!(
+            cost.dispatch_energy_uj.to_bits(),
+            report.dispatch_energy_uj().to_bits()
+        );
+    }
+
+    #[test]
+    fn chain_cost_by_with_memoized_costs_matches_cold() {
+        // Feeding back kernel costs captured on a first pass reproduces
+        // the cold totals bit for bit — the incremental-sweep contract.
+        let d = device();
+        let e = Engine::new(&d);
+        let chain = JobChain::from_kernels(vec![
+            compute_kernel(1024, 100),
+            compute_kernel(1024, 100),
+            compute_kernel(512, 999),
+        ]);
+        let mut captured = Vec::new();
+        let cold = e.chain_cost_by(&chain, |k| {
+            let c = e.kernel_cost(k);
+            captured.push(c);
+            c
+        });
+        let mut replay = captured.into_iter();
+        // lint: allow(unwrap) — replay has one entry per kernel
+        let warm = e.chain_cost_by(&chain, |_| replay.next().expect("captured cost"));
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn run_chain_with_reused_scratch_matches_fresh() {
+        let d = device();
+        let e = Engine::new(&d);
+        let big = JobChain::from_kernels(vec![compute_kernel(4096, 123); 8]);
+        let small = JobChain::from_kernels(vec![compute_kernel(64, 5)]);
+        let mut scratch = ChainScratch::new();
+        // Reuse across chains of shrinking length: stale columns must not
+        // leak into later, shorter runs.
+        let a1 = e.run_chain_with(&big, &mut scratch);
+        let a2 = e.run_chain_with(&small, &mut scratch);
+        assert_eq!(a1, e.run_chain(&big));
+        assert_eq!(a2, e.run_chain(&small));
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +654,149 @@ mod makespan_tests {
     fn empty_cost_list_is_zero() {
         let d = Device::jetson_nano();
         assert_eq!(Engine::new(&d).makespan_cycles(&[]), 0.0);
+    }
+
+    #[test]
+    fn uniform_fractional_costs_match_wave_formula_exactly() {
+        // Regression: milli-cycle quantization truncated these to zero.
+        let d = Device::mali_g72_hikey970(); // 12 cores
+        let e = Engine::new(&d);
+        let m = e.makespan_cycles(&[0.0001; 25]); // 3 waves
+        assert_eq!(m.to_bits(), (0.0001f64 * 3.0).to_bits());
+    }
+
+    #[test]
+    fn uniform_costs_match_kernel_time_wave_formula_bitwise() {
+        // The doc contract: uniform-cost makespans equal wg_cycles × waves
+        // exactly, so makespan-based timing agrees with kernel_time_us.
+        let d = Device::mali_g72_hikey970();
+        let e = Engine::new(&d);
+        let k = KernelDesc::builder("k")
+            .global([100, 1, 1])
+            .local([4, 1, 1])
+            .arith_per_item(3_333)
+            .mem_per_item(17)
+            .build();
+        let wg = e.workgroup_cycles(&k);
+        let costs = vec![wg; k.workgroup_count()];
+        let makespan = e.makespan_cycles(&costs);
+        assert_eq!(makespan.to_bits(), e.kernel_cycles(&k).to_bits());
+        assert_eq!(
+            (makespan / d.clock_mhz() as f64).to_bits(),
+            e.kernel_time_us(&k).to_bits()
+        );
+    }
+
+    #[test]
+    fn huge_costs_do_not_saturate() {
+        // Regression: 1e18 × 1024 overflowed the old integer accumulator.
+        let d = Device::jetson_tx2(); // 2 cores
+        let e = Engine::new(&d);
+        let m = e.makespan_cycles(&[1.0e18, 2.0e18, 3.0e18]);
+        assert_eq!(m, 4.0e18);
+    }
+
+    #[test]
+    fn scratch_reuse_is_value_neutral() {
+        let d = Device::mali_g72_hikey970();
+        let e = Engine::new(&d);
+        let mut scratch = ChainScratch::new();
+        let costs = [3.5, 1.25, 9.0, 2.0, 2.0, 7.75];
+        let a = e.makespan_cycles_with(&costs, &mut scratch);
+        let b = e.makespan_cycles_with(&costs, &mut scratch);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(a.to_bits(), e.makespan_cycles(&costs).to_bits());
+    }
+}
+
+#[cfg(test)]
+mod makespan_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Uniform-cost makespans equal the closed-form wave formula
+        /// bit-for-bit for arbitrary core counts and cost magnitudes.
+        #[test]
+        fn uniform_makespan_equals_wave_formula(
+            cores in 1usize..48,
+            wgs in 1usize..300,
+            mantissa in 1u64..(1u64 << 52),
+            exp in 0u32..40,
+        ) {
+            // Spread magnitudes from sub-milli-cycle to ~1e12 cycles.
+            let cost = mantissa as f64 * (2.0f64).powi(exp as i32 - 20);
+            let d = Device::builder("prop").cores(cores).build();
+            let e = Engine::new(&d);
+            let costs = vec![cost; wgs];
+            let expected = cost * wgs.div_ceil(cores) as f64;
+            prop_assert_eq!(e.makespan_cycles(&costs).to_bits(), expected.to_bits());
+        }
+
+        /// Heterogeneous greedy schedules stay within the trivial
+        /// envelopes: at least the max cost and the perfect split, at
+        /// most the serial sum.
+        #[test]
+        fn heterogeneous_makespan_within_envelopes(
+            cores in 1usize..16,
+            costs in prop::collection::vec(0.01f64..1.0e6, 1..64),
+        ) {
+            let d = Device::builder("prop").cores(cores).build();
+            let e = Engine::new(&d);
+            let m = e.makespan_cycles(&costs);
+            let total: f64 = costs.iter().sum();
+            let max = costs.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(m >= max - 1e-9, "m {} max {}", m, max);
+            prop_assert!(m >= total / cores as f64 - 1e-9, "m {} lb {}", m, total / cores as f64);
+            prop_assert!(m <= total + 1e-9, "m {} total {}", m, total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod partial_dispatch_tests {
+    use super::*;
+
+    fn mem_kernel(items: usize) -> KernelDesc {
+        KernelDesc::builder("mem")
+            .global([items, 1, 1])
+            .local([4, 1, 1])
+            .mem_per_item(256)
+            .bytes_per_mem(4)
+            .build()
+    }
+
+    #[test]
+    fn bandwidth_share_uses_occupied_cores_only() {
+        // wgs < cores: idle cores issue no DRAM traffic, so shrinking the
+        // dispatch grows each occupied core's bandwidth share and the
+        // per-workgroup memory time falls monotonically.
+        let d = Device::mali_g72_hikey970(); // 12 cores
+        let e = Engine::new(&d);
+        let wg3 = e.workgroup_cycles(&mem_kernel(3 * 4));
+        let wg6 = e.workgroup_cycles(&mem_kernel(6 * 4));
+        let wg12 = e.workgroup_cycles(&mem_kernel(12 * 4));
+        assert!(wg3 < wg6, "wg3 {wg3} wg6 {wg6}");
+        assert!(wg6 < wg12, "wg6 {wg6} wg12 {wg12}");
+    }
+
+    #[test]
+    fn latency_hiding_tracks_the_busiest_core() {
+        // cores < wgs < 2·cores: the busiest core holds two resident
+        // workgroups whose warps hide each other's latency, so per-
+        // workgroup cost *drops* across the 12 -> 13 boundary even though
+        // bandwidth share is unchanged (active cores saturated at 12).
+        let d = Device::mali_g72_hikey970(); // 12 cores
+        let e = Engine::new(&d);
+        let wg12 = e.workgroup_cycles(&mem_kernel(12 * 4));
+        let wg13 = e.workgroup_cycles(&mem_kernel(13 * 4));
+        assert!(wg13 < wg12, "wg13 {wg13} wg12 {wg12}");
+        // The kernel as a whole still pays for the extra wave.
+        let t12 = e.kernel_time_us(&mem_kernel(12 * 4));
+        let t13 = e.kernel_time_us(&mem_kernel(13 * 4));
+        assert!(t13 > t12, "t13 {t13} t12 {t12}");
     }
 }
 

@@ -84,6 +84,15 @@ impl JobChain {
         self.jobs.is_empty()
     }
 
+    /// Iterates `(kernel, needs_own_submission)` pairs in dispatch order —
+    /// the exact tuple the engine's cost hot loops consume, without going
+    /// through the [`Job`] accessors job by job.
+    pub fn iter(&self) -> impl Iterator<Item = (&KernelDesc, bool)> {
+        self.jobs
+            .iter()
+            .map(|j| (&j.kernel, j.needs_own_submission))
+    }
+
     /// Sum of executed arithmetic instructions across the chain.
     pub fn total_arith(&self) -> u64 {
         self.jobs.iter().map(|j| j.kernel().total_arith()).sum()
@@ -140,6 +149,14 @@ mod tests {
     fn submission_flag_round_trips() {
         assert!(!Job::new(kernel("a", 1)).needs_own_submission());
         assert!(Job::with_own_submission(kernel("a", 1)).needs_own_submission());
+    }
+
+    #[test]
+    fn iter_yields_kernel_and_submission_flag() {
+        let mut c = JobChain::from_kernels(vec![kernel("a", 1)]);
+        c.push(Job::with_own_submission(kernel("b", 2)));
+        let pairs: Vec<(&str, bool)> = c.iter().map(|(k, own)| (k.name(), own)).collect();
+        assert_eq!(pairs, [("a", false), ("b", true)]);
     }
 
     #[test]

@@ -139,6 +139,52 @@ impl KernelDesc {
     pub fn total_mem(&self) -> u64 {
         self.accounted_items() * self.mem_per_item
     }
+
+    /// `true` if `other` is indistinguishable from `self` to the engine's
+    /// cost model: every field that feeds timing or energy agrees. The
+    /// kernel `name` and `footprint_bytes` are deliberately excluded —
+    /// they label and size the dispatch but never change its cost, which
+    /// is what lets a sweep share one memo entry across identically-shaped
+    /// kernels from different layers.
+    pub fn cost_equivalent(&self, other: &KernelDesc) -> bool {
+        self.global == other.global
+            && self.local == other.local
+            && self.arith_per_item == other.arith_per_item
+            && self.mem_per_item == other.mem_per_item
+            && self.bytes_per_mem == other.bytes_per_mem
+            && self.coalescing.to_bits() == other.coalescing.to_bits()
+            && self.cache_hit.to_bits() == other.cache_hit.to_bits()
+            && self.exec_efficiency.to_bits() == other.exec_efficiency.to_bits()
+            && self.padded_accounting == other.padded_accounting
+    }
+
+    /// 64-bit digest over exactly the fields [`Self::cost_equivalent`]
+    /// compares (splitmix64 fold, float fields by raw bits). Equal digests
+    /// are a fast necessary condition for cost equivalence; memo tables
+    /// key on the digest and confirm with `cost_equivalent`.
+    pub fn cost_digest(&self) -> u64 {
+        fn splitmix64(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = 0u64;
+        for v in self.global {
+            h = splitmix64(h ^ v as u64);
+        }
+        for v in self.local {
+            h = splitmix64(h ^ v as u64);
+        }
+        h = splitmix64(h ^ self.arith_per_item);
+        h = splitmix64(h ^ self.mem_per_item);
+        h = splitmix64(h ^ u64::from(self.bytes_per_mem));
+        h = splitmix64(h ^ self.coalescing.to_bits());
+        h = splitmix64(h ^ self.cache_hit.to_bits());
+        h = splitmix64(h ^ self.exec_efficiency.to_bits());
+        h = splitmix64(h ^ u64::from(self.padded_accounting));
+        h
+    }
 }
 
 impl fmt::Display for KernelDesc {
@@ -352,6 +398,69 @@ mod tests {
     #[test]
     fn display_names_the_kernel() {
         assert!(k().to_string().starts_with("gemm_mm"));
+    }
+
+    #[test]
+    fn cost_equivalence_ignores_name_and_footprint() {
+        let a = KernelDesc::builder("gemm_mm")
+            .global([784, 24, 1])
+            .local([4, 4, 1])
+            .arith_per_item(100)
+            .mem_per_item(10)
+            .footprint_bytes(1 << 20)
+            .build();
+        let b = KernelDesc::builder("gemm_mm_interleaved")
+            .global([784, 24, 1])
+            .local([4, 4, 1])
+            .arith_per_item(100)
+            .mem_per_item(10)
+            .footprint_bytes(1 << 24)
+            .build();
+        assert!(a.cost_equivalent(&b));
+        assert_eq!(a.cost_digest(), b.cost_digest());
+    }
+
+    #[test]
+    fn cost_digest_separates_cost_relevant_fields() {
+        let base = k();
+        let variants = [
+            KernelDesc::builder("gemm_mm")
+                .global([784, 25, 1])
+                .local([4, 4, 1])
+                .arith_per_item(100)
+                .mem_per_item(10)
+                .build(),
+            KernelDesc::builder("gemm_mm")
+                .global([784, 24, 1])
+                .local([8, 4, 1])
+                .arith_per_item(100)
+                .mem_per_item(10)
+                .build(),
+            KernelDesc::builder("gemm_mm")
+                .global([784, 24, 1])
+                .local([4, 4, 1])
+                .arith_per_item(101)
+                .mem_per_item(10)
+                .build(),
+            KernelDesc::builder("gemm_mm")
+                .global([784, 24, 1])
+                .local([4, 4, 1])
+                .arith_per_item(100)
+                .mem_per_item(10)
+                .cache_hit(0.5)
+                .build(),
+            KernelDesc::builder("gemm_mm")
+                .global([784, 24, 1])
+                .local([4, 4, 1])
+                .arith_per_item(100)
+                .mem_per_item(10)
+                .padded_accounting(false)
+                .build(),
+        ];
+        for v in &variants {
+            assert!(!base.cost_equivalent(v), "{v}");
+            assert_ne!(base.cost_digest(), v.cost_digest(), "{v}");
+        }
     }
 
     #[test]

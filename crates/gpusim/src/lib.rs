@@ -57,7 +57,7 @@ mod trace;
 
 pub use chrome::{render_trace, ChromeEvent};
 pub use device::{Device, DeviceBuilder};
-pub use engine::Engine;
+pub use engine::{ChainCost, ChainScratch, Engine, KernelCost};
 pub use job::{Job, JobChain};
 pub use kernel::{KernelBuilder, KernelDesc};
 pub use metrics::{ChainReport, KernelReport, SystemCounters};

@@ -165,7 +165,7 @@ impl Engine<'_> {
                 overhead += d.job_sync_us();
             }
             now_us += overhead;
-            let gpu_us = self.kernel_time_us(kernel);
+            let gpu_us = self.kernel_cost(kernel).gpu_us;
             let wgs = kernel.workgroup_count();
             let cores = d.cores();
             let waves = wgs.div_ceil(cores);

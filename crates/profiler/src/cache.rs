@@ -11,6 +11,16 @@
 //! spec), so each unique configuration is simulated exactly once per
 //! process no matter how many sweeps touch it — and safely from many
 //! worker threads at once.
+//!
+//! Since PR 6 the infallible miss path does not run a full cold simulation
+//! either: it plans the layer and *assembles* the cost from per-kernel
+//! engine costs memoized in a [`crate::incremental::KernelMemo`], which is
+//! bitwise identical to the cold run (pinned by the backends' `cost ==
+//! plan + simulate` contract and this module's canary tests). The
+//! fallible path stays cold on purpose — fault-injecting backends override
+//! [`ConvBackend::try_cost`], and assembling around them would bypass the
+//! injected faults. [`LatencyCache::engine_stats`] reports how much full
+//! simulation the incremental path avoided.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -19,8 +29,10 @@ use std::sync::{Mutex, OnceLock, PoisonError};
 
 use pruneperf_backends::hash::fnv1a;
 use pruneperf_backends::{ConvBackend, CostError};
-use pruneperf_gpusim::Device;
+use pruneperf_gpusim::{Device, Engine};
 use pruneperf_models::ConvLayerSpec;
+
+use crate::incremental::{EngineStats, KernelMemo};
 
 /// Number of independently locked shards; a power of two so the shard
 /// index is a cheap mask. 16 comfortably out-scales the worker counts the
@@ -83,7 +95,7 @@ fn key_digest(backend: u64, device: &str, layer: &ConvLayerSpec) -> u64 {
 /// The digest is already well-mixed, so bucket maps index by it directly
 /// instead of re-hashing through SipHash.
 #[derive(Default)]
-struct IdentityHasher(u64);
+pub(crate) struct IdentityHasher(u64);
 
 impl std::hash::Hasher for IdentityHasher {
     fn finish(&self) -> u64 {
@@ -201,6 +213,15 @@ pub struct LatencyCache {
     /// keys sharing that digest so hash collisions stay correct.
     shards: Vec<Mutex<Shard>>,
     counters: Vec<ShardCounters>,
+    /// Per-kernel engine-cost memo backing the incremental miss path.
+    memo: KernelMemo,
+    /// Engine-activity counters. Classified at cache-insert time (win =
+    /// the canonical assembly/run), so they are schedule-independent even
+    /// when threads race on duplicate fresh keys — a lost race's redundant
+    /// work is not counted, exactly as in a sequential execution.
+    chains_assembled: AtomicU64,
+    engine_runs: AtomicU64,
+    kernel_lookups: AtomicU64,
 }
 
 impl Default for LatencyCache {
@@ -215,6 +236,10 @@ impl LatencyCache {
         LatencyCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             counters: (0..SHARDS).map(|_| ShardCounters::default()).collect(),
+            memo: KernelMemo::new(),
+            chains_assembled: AtomicU64::new(0),
+            engine_runs: AtomicU64::new(0),
+            kernel_lookups: AtomicU64::new(0),
         }
     }
 
@@ -226,10 +251,12 @@ impl LatencyCache {
 
     /// `(latency ms, energy mJ)` of one execution, memoized.
     ///
-    /// On a miss the simulator runs *outside* the shard lock: two threads
-    /// racing on the same fresh key may both simulate, but the computation
-    /// is deterministic so whichever insert lands is indistinguishable,
-    /// and no thread ever blocks on another's simulation.
+    /// On a miss the cost is *assembled* incrementally — the backend plans
+    /// the layer and the engine accumulates memoized per-kernel costs in
+    /// `run_chain` order — outside the shard lock: two threads racing on
+    /// the same fresh key may both assemble, but the computation is
+    /// deterministic so whichever insert lands is indistinguishable, and
+    /// no thread ever blocks on another's assembly.
     pub fn cost(
         &self,
         backend: &dyn ConvBackend,
@@ -240,8 +267,54 @@ impl LatencyCache {
         if let Some(cached) = self.lookup(fingerprint, layer, device) {
             return cached;
         }
-        let computed = backend.cost(layer, device);
-        self.insert(fingerprint, layer, device, computed);
+        let engine = Engine::new(device);
+        self.assemble_and_insert(&engine, fingerprint, backend, layer)
+    }
+
+    /// Batched multi-layer costing: one backend fingerprint and one engine
+    /// per call, amortized across the whole layer list — the entry point
+    /// network runs and the audit/bench backend×device×layer grids use.
+    ///
+    /// Values and counters are identical to calling [`LatencyCache::cost`]
+    /// once per layer, in order; only the per-call setup is hoisted.
+    pub fn cost_batch(
+        &self,
+        backend: &dyn ConvBackend,
+        layers: &[ConvLayerSpec],
+        device: &Device,
+    ) -> Vec<(f64, f64)> {
+        let fingerprint = backend.fingerprint();
+        let engine = Engine::new(device);
+        layers
+            .iter()
+            .map(|layer| {
+                if let Some(cached) = self.lookup(fingerprint, layer, device) {
+                    return cached;
+                }
+                self.assemble_and_insert(&engine, fingerprint, backend, layer)
+            })
+            .collect()
+    }
+
+    /// The infallible miss path: plan, assemble from memoized kernel
+    /// costs, memoize, and account the engine counters on an insert win.
+    fn assemble_and_insert(
+        &self,
+        engine: &Engine<'_>,
+        fingerprint: u64,
+        backend: &dyn ConvBackend,
+        layer: &ConvLayerSpec,
+    ) -> (f64, f64) {
+        let device = engine.device();
+        let plan = backend.plan(layer, device);
+        let chain = plan.chain();
+        let cost = engine.chain_cost_by(chain, |k| self.memo.cost(engine, k));
+        let computed = (cost.total_time_ms(), cost.total_energy_mj());
+        if self.insert(fingerprint, layer, device, computed) {
+            self.chains_assembled.fetch_add(1, Ordering::Relaxed);
+            self.kernel_lookups
+                .fetch_add(chain.len() as u64, Ordering::Relaxed);
+        }
         computed
     }
 
@@ -252,6 +325,12 @@ impl LatencyCache {
     /// the table, so the caller's retry re-evaluates the backend, and a
     /// later success is memoized normally. A failed evaluation counts one
     /// `failures` (not a miss), keeping the lookup conservation law exact.
+    ///
+    /// Unlike [`LatencyCache::cost`], a miss here runs the backend's own
+    /// [`ConvBackend::try_cost`] **cold** — fault-injecting decorators
+    /// override it, and assembling from plan + memo would silently bypass
+    /// their injected faults. Each successful cold evaluation that
+    /// populates the table counts one `engine_runs`.
     ///
     /// # Errors
     ///
@@ -277,7 +356,9 @@ impl LatencyCache {
                 return Err(e);
             }
         };
-        self.insert(fingerprint, layer, device, computed);
+        if self.insert(fingerprint, layer, device, computed) {
+            self.engine_runs.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(computed)
     }
 
@@ -319,7 +400,16 @@ impl LatencyCache {
     /// landed first (the lost race re-simulated, but the answer the table
     /// would have given is identical, and counting it as a hit keeps the
     /// hit/miss split schedule-independent).
-    fn insert(&self, fingerprint: u64, layer: &ConvLayerSpec, device: &Device, value: (f64, f64)) {
+    ///
+    /// Returns `true` when this call's insert landed — the canonical
+    /// evaluation of the key, which is what the engine counters bill.
+    fn insert(
+        &self,
+        fingerprint: u64,
+        layer: &ConvLayerSpec,
+        device: &Device,
+        value: (f64, f64),
+    ) -> bool {
         let digest = key_digest(fingerprint, device.name(), layer);
         let key = CacheKey {
             backend: fingerprint,
@@ -344,6 +434,7 @@ impl LatencyCache {
         } else {
             counters.misses.fetch_add(1, Ordering::Relaxed);
         }
+        !already_present
     }
 
     /// The shard holding `digest`.
@@ -422,6 +513,20 @@ impl LatencyCache {
         agg
     }
 
+    /// Engine-activity counters: how much full simulation the incremental
+    /// miss path avoided. Deterministic at any worker count (see the
+    /// counter-discipline notes on [`LatencyCache`] and
+    /// [`crate::incremental::KernelMemo`]).
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            chains_assembled: self.chains_assembled.load(Ordering::Relaxed),
+            engine_runs: self.engine_runs.load(Ordering::Relaxed),
+            kernel_lookups: self.kernel_lookups.load(Ordering::Relaxed),
+            kernel_evals: self.memo.evals(),
+            memo_entries: self.memo.entries(),
+        }
+    }
+
     /// Per-shard counter snapshots, in shard order.
     ///
     /// The per-shard split is deterministic because keys map to shards by
@@ -470,7 +575,8 @@ impl LatencyCache {
     /// Drops every entry and resets the query counters (for tests and
     /// long-lived processes that switch workloads). Dropped entries
     /// accumulate into the per-shard `evictions` counter, which survives
-    /// the reset — it records table churn over the cache's lifetime.
+    /// the reset — it records table churn over the cache's lifetime. The
+    /// kernel memo and engine counters reset alongside the query counters.
     pub fn clear(&self) {
         for (shard, counters) in self.shards.iter().zip(&self.counters) {
             let mut table = shard.lock().unwrap_or_else(PoisonError::into_inner);
@@ -485,6 +591,10 @@ impl LatencyCache {
             counters.misses.store(0, Ordering::Relaxed);
             counters.failures.store(0, Ordering::Relaxed);
         }
+        self.memo.clear();
+        self.chains_assembled.store(0, Ordering::Relaxed);
+        self.engine_runs.store(0, Ordering::Relaxed);
+        self.kernel_lookups.store(0, Ordering::Relaxed);
     }
 }
 
@@ -718,5 +828,146 @@ mod tests {
         }
         cache.clear();
         assert_eq!(cache.stats().evictions, 14, "evictions are cumulative");
+    }
+
+    #[test]
+    fn incremental_misses_are_bitwise_identical_to_cold_backend_cost() {
+        // The tentpole invariant: the assemble-from-memo miss path must be
+        // indistinguishable, bit for bit, from running the backend cold —
+        // for every backend, on every device, across a channel sweep.
+        use pruneperf_backends::all_backends;
+        let cache = LatencyCache::new();
+        for device in pruneperf_gpusim::Device::all_paper_devices() {
+            for backend in all_backends() {
+                for c in [128usize, 97, 92, 76, 33, 1] {
+                    let layer = l16().with_c_out(c).unwrap();
+                    let cold = backend.cost(&layer, &device);
+                    let warm = cache.cost(backend.as_ref(), &layer, &device);
+                    assert_eq!(
+                        warm.0.to_bits(),
+                        cold.0.to_bits(),
+                        "{} on {} at c_out={c}: latency",
+                        backend.name(),
+                        device.name()
+                    );
+                    assert_eq!(
+                        warm.1.to_bits(),
+                        cold.1.to_bits(),
+                        "{} on {} at c_out={c}: energy",
+                        backend.name(),
+                        device.name()
+                    );
+                }
+            }
+        }
+        let engine = cache.engine_stats();
+        assert_eq!(engine.engine_runs, 0, "no full cold runs on this path");
+        assert_eq!(engine.chains_assembled, cache.stats().misses);
+    }
+
+    #[test]
+    fn cost_batch_matches_sequential_cost_bitwise() {
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let layers: Vec<ConvLayerSpec> = (60..=90).map(|c| l16().with_c_out(c).unwrap()).collect();
+        let sequential = LatencyCache::new();
+        let expect: Vec<(f64, f64)> = layers.iter().map(|l| sequential.cost(&b, l, &d)).collect();
+        let batched = LatencyCache::new();
+        let got = batched.cost_batch(&b, &layers, &d);
+        assert_eq!(got, expect);
+        assert_eq!(batched.stats(), sequential.stats(), "counters identical");
+        assert_eq!(batched.engine_stats(), sequential.engine_stats());
+        // A second batch is all hits and assembles nothing new.
+        let again = batched.cost_batch(&b, &layers, &d);
+        assert_eq!(again, expect);
+        assert_eq!(batched.stats().hits, layers.len() as u64);
+        assert_eq!(batched.engine_stats().chains_assembled, layers.len() as u64);
+    }
+
+    #[test]
+    fn engine_stats_prove_the_memo_works() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        for c in 60..=90usize {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        let engine = cache.engine_stats();
+        assert_eq!(engine.chains_assembled, 31, "one assembly per miss");
+        assert_eq!(engine.engine_runs, 0, "no cold simulations at all");
+        assert!(
+            engine.kernel_lookups >= engine.chains_assembled,
+            "each chain has at least one kernel"
+        );
+        // The sweep shares im2col/reshape stages across channel counts, so
+        // unique kernel shapes are strictly fewer than kernel queries.
+        assert!(
+            engine.kernel_evals < engine.kernel_lookups,
+            "sweep must reuse memoized kernels: {engine:?}"
+        );
+        assert_eq!(
+            engine.kernel_memo_hits(),
+            engine.kernel_lookups - engine.kernel_evals
+        );
+        assert_eq!(engine.memo_entries as u64, engine.kernel_evals);
+        cache.clear();
+        assert_eq!(cache.engine_stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn try_cost_counts_cold_engine_runs() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let layer = l16();
+        cache.try_cost(&b, &layer, &d).unwrap();
+        let engine = cache.engine_stats();
+        assert_eq!(engine.engine_runs, 1, "fallible misses stay cold");
+        assert_eq!(engine.chains_assembled, 0);
+        // The cached entry then serves the infallible path as a hit.
+        cache.cost(&b, &layer, &d);
+        assert_eq!(cache.engine_stats().engine_runs, 1);
+        assert_eq!(cache.engine_stats().chains_assembled, 0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use pruneperf_backends::all_backends;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Satellite 4: the incremental sweep path is bitwise identical
+            /// to the cold path over seeded (layer, device, c_out-range)
+            /// samples, and repeat queries are stable hits.
+            #[test]
+            fn incremental_sweep_matches_cold_bitwise(
+                layer_idx in 0usize..53,
+                device_idx in 0usize..4,
+                backend_idx in 0usize..4,
+                lo in 1usize..120,
+                span in 0usize..8,
+            ) {
+                let net = resnet50();
+                let layer = &net.layers()[layer_idx % net.layers().len()];
+                let devices = Device::all_paper_devices();
+                let device = &devices[device_idx % devices.len()];
+                let backends = all_backends();
+                let backend = backends[backend_idx % backends.len()].as_ref();
+                let cache = LatencyCache::new();
+                for c in lo..=lo + span {
+                    let c = c.clamp(1, layer.c_out());
+                    let pruned = layer.with_c_out(c).unwrap();
+                    let cold = backend.cost(&pruned, device);
+                    let warm = cache.cost(backend, &pruned, device);
+                    prop_assert_eq!(warm.0.to_bits(), cold.0.to_bits());
+                    prop_assert_eq!(warm.1.to_bits(), cold.1.to_bits());
+                    let hit = cache.cost(backend, &pruned, device);
+                    prop_assert_eq!(hit, warm);
+                }
+                prop_assert_eq!(cache.engine_stats().engine_runs, 0);
+            }
+        }
     }
 }

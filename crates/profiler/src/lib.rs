@@ -35,6 +35,7 @@
 mod cache;
 mod curve;
 pub mod faults;
+mod incremental;
 mod measurement;
 mod profiler;
 mod runner;
@@ -45,6 +46,7 @@ mod timeline;
 pub use cache::{CacheShardStats, CacheStats, LatencyCache};
 pub use curve::{CurveError, CurveGap, CurvePoint, LatencyCurve, PartialCurve};
 pub use faults::{FaultKind, FaultPlan, FaultyBackend, RetryOutcome, RetryPolicy};
+pub use incremental::EngineStats;
 pub use measurement::Measurement;
 pub use profiler::{LayerProfiler, MeasureError};
 pub use runner::{

@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use pruneperf_backends::ConvBackend;
-use pruneperf_gpusim::{Device, Engine};
+use pruneperf_gpusim::{ChainScratch, Device, Engine};
 use pruneperf_models::ConvLayerSpec;
 
 use crate::faults::{with_retry, RetryPolicy};
@@ -165,6 +165,24 @@ impl LayerProfiler {
     pub fn measure(&self, backend: &dyn ConvBackend, layer: &ConvLayerSpec) -> Measurement {
         let base_ms = self.cache().latency_ms(backend, layer, &self.device);
         self.noisy_measurement(backend, layer, base_ms)
+    }
+
+    /// Batched twin of [`LayerProfiler::measure`]: measures every
+    /// configuration in order through the cache's batched costing path,
+    /// which hoists the backend fingerprint and engine out of the
+    /// per-layer loop. Results are bitwise-identical to calling
+    /// [`LayerProfiler::measure`] once per configuration.
+    pub fn measure_batch(
+        &self,
+        backend: &dyn ConvBackend,
+        configs: &[ConvLayerSpec],
+    ) -> Vec<Measurement> {
+        let costs = self.cache().cost_batch(backend, configs, &self.device);
+        configs
+            .iter()
+            .zip(costs)
+            .map(|(layer, (base_ms, _mj))| self.noisy_measurement(backend, layer, base_ms))
+            .collect()
     }
 
     /// Layers the seeded jitter runs on top of a deterministic base time.
@@ -355,9 +373,14 @@ impl LayerProfiler {
             ChromeEvent::thread_name(PID, LANE_KERNELS, "kernels"),
         ];
         let mut offset_us = 0.0f64;
+        // One engine and one scratch arena for the whole sweep: the SoA
+        // columns are reused across configurations instead of reallocated
+        // per chain (the report itself still owns its kernel rows).
+        let engine = Engine::new(&self.device);
+        let mut scratch = ChainScratch::new();
         for config in channels.filter_map(|c| layer.with_c_out(c).ok()) {
-            let timeline = self.timeline(backend, &config);
-            let report = timeline.report();
+            let plan = backend.plan(&config, &self.device);
+            let report = engine.run_chain_with(plan.chain(), &mut scratch);
             events.push(
                 ChromeEvent::complete(
                     &format!("{} ch", config.c_out()),
@@ -430,6 +453,20 @@ mod tests {
         let a = p.measure(&AclGemm::new(), &l16());
         let b = p.measure(&AclGemm::new(), &l16());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measure_batch_matches_individual_measures() {
+        let d = Device::mali_g72_hikey970();
+        let p = LayerProfiler::new(&d).with_cache(Arc::new(LatencyCache::new()));
+        let b = AclGemm::new();
+        let configs: Vec<ConvLayerSpec> =
+            (100..=128).map(|c| l16().with_c_out(c).unwrap()).collect();
+        let batch = p.measure_batch(&b, &configs);
+        assert_eq!(batch.len(), configs.len());
+        for (cfg, m) in configs.iter().zip(&batch) {
+            assert_eq!(m, &p.measure(&b, cfg), "c_out={}", cfg.c_out());
+        }
     }
 
     #[test]

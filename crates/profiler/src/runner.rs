@@ -155,21 +155,24 @@ impl NetworkRunner {
     /// Executes every unique conv layer of `network` once (deterministic,
     /// noise-free — aggregate statistics belong to `LayerProfiler`).
     ///
-    /// Per-layer costs come from the process-wide [`LatencyCache`], so
-    /// repeated whole-network runs (e.g. thermal duty-cycle studies)
-    /// simulate each layer once.
+    /// Per-layer costs come from the process-wide [`LatencyCache`] through
+    /// its batched entry point — one backend fingerprint and one engine
+    /// for the whole network — so repeated whole-network runs (e.g.
+    /// thermal duty-cycle studies) simulate each layer at most once, and
+    /// networks with repeated kernel shapes (ResNet's identical residual
+    /// blocks) share memoized per-kernel engine costs across layers.
     pub fn run(&self, backend: &dyn ConvBackend, network: &Network) -> NetworkReport {
-        let cache = self.cache();
+        let costs = self
+            .cache()
+            .cost_batch(backend, network.layers(), &self.device);
         let layers = network
             .layers()
             .iter()
-            .map(|l| {
-                let (ms, mj) = cache.cost(backend, l, &self.device);
-                LayerCost {
-                    label: l.label().to_string(),
-                    ms,
-                    mj,
-                }
+            .zip(costs)
+            .map(|(l, (ms, mj))| LayerCost {
+                label: l.label().to_string(),
+                ms,
+                mj,
             })
             .collect();
         NetworkReport {
@@ -619,6 +622,27 @@ mod tests {
             assert!(a.contains(l.label()), "missing {}", l.label());
         }
         assert!(a.contains("\"layers\""));
+    }
+
+    #[test]
+    fn run_assembles_incrementally_and_shares_kernels_across_layers() {
+        let d = Device::mali_g72_hikey970();
+        let cache = Arc::new(LatencyCache::new());
+        let runner = NetworkRunner::new(&d).with_cache(Arc::clone(&cache));
+        let report = runner.run(&AclGemm::new(), &resnet50());
+        let engine = cache.engine_stats();
+        assert_eq!(engine.engine_runs, 0, "no cold simulations");
+        assert_eq!(engine.chains_assembled, report.layers().len() as u64);
+        // ResNet repeats residual blocks, so distinct layers still share
+        // memoized kernel shapes: strictly fewer evals than queries.
+        assert!(engine.kernel_evals < engine.kernel_lookups, "{engine:?}");
+        // A second run is pure cache hits.
+        let again = runner.run(&AclGemm::new(), &resnet50());
+        assert_eq!(again, report);
+        assert_eq!(
+            cache.engine_stats().chains_assembled,
+            engine.chains_assembled
+        );
     }
 
     #[test]

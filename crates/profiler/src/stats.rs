@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 use crate::cache::{CacheShardStats, LatencyCache};
+use crate::incremental::EngineStats;
 
 /// Retry/fault counters for one instrumented call site (e.g.
 /// `"profiler.try_measure"`).
@@ -170,16 +171,20 @@ impl Stats {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             cache: Vec::new(),
+            engine: EngineStats::default(),
             sweep_items: self.sweep_items(),
             sweep_panics: self.sweep_panics(),
             sites: self.sites(),
         }
     }
 
-    /// A deterministic snapshot including `cache`'s per-shard counters.
+    /// A deterministic snapshot including `cache`'s per-shard counters and
+    /// engine-activity counters (full runs avoided by the incremental
+    /// simulation path).
     pub fn snapshot_with_cache(&self, cache: &LatencyCache) -> StatsSnapshot {
         let mut snap = self.snapshot();
         snap.cache = cache.shard_stats();
+        snap.engine = cache.engine_stats();
         snap
     }
 }
@@ -190,6 +195,8 @@ impl Stats {
 pub struct StatsSnapshot {
     /// Per-shard cache counters (empty when no cache was attached).
     pub cache: Vec<CacheShardStats>,
+    /// Engine-activity counters (all zero when no cache was attached).
+    pub engine: EngineStats,
     /// Total sweep items claimed.
     pub sweep_items: u64,
     /// Total contained sweep panics.
@@ -207,7 +214,7 @@ impl StatsSnapshot {
     /// Renders the snapshot as JSON with a fixed field order and fixed
     /// number formatting, so equal snapshots render byte-identically.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n");
+        let mut out = String::from("{\n  \"version\": 2,\n");
         out.push_str("  \"cache\": {\n");
         let totals = self
             .cache
@@ -242,6 +249,16 @@ impl StatsSnapshot {
             );
         }
         out.push_str("    ]\n  },\n");
+        let _ = writeln!(
+            out,
+            "  \"engine\": {{\"chains_assembled\": {}, \"engine_runs\": {}, \"kernel_lookups\": {}, \"kernel_memo_hits\": {}, \"kernel_evals\": {}, \"memo_entries\": {}}},",
+            self.engine.chains_assembled,
+            self.engine.engine_runs,
+            self.engine.kernel_lookups,
+            self.engine.kernel_memo_hits(),
+            self.engine.kernel_evals,
+            self.engine.memo_entries
+        );
         let _ = writeln!(
             out,
             "  \"sweep\": {{\"items\": {}, \"successes\": {}, \"panics\": {}}},",
@@ -322,8 +339,10 @@ mod tests {
         let a = stats.snapshot().render_json();
         let b = stats.snapshot().render_json();
         assert_eq!(a, b);
+        assert!(a.contains("\"version\": 2"));
         assert!(a.contains("\"sweep\": {\"items\": 4, \"successes\": 3, \"panics\": 1}"));
         assert!(a.contains("\"site\": \"runner.try_run\""));
+        assert!(a.contains("\"engine\": {\"chains_assembled\": 0"));
         assert!(!a.contains("worker"), "worker split is schedule-dependent");
     }
 
@@ -346,5 +365,29 @@ mod tests {
         assert_eq!(snap.cache.len(), 16);
         let json = snap.render_json();
         assert!(json.contains("\"totals\": {\"lookups\": 0"));
+    }
+
+    #[test]
+    fn snapshot_with_cache_embeds_engine_counters() {
+        use pruneperf_backends::AclGemm;
+        use pruneperf_gpusim::Device;
+        use pruneperf_models::resnet50;
+
+        let stats = Stats::new();
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let layer = resnet50().layer("ResNet.L16").unwrap().clone();
+        for c in 60..=70usize {
+            cache.cost(&b, &layer.with_c_out(c).unwrap(), &d);
+        }
+        let snap = stats.snapshot_with_cache(&cache);
+        assert_eq!(snap.engine, cache.engine_stats());
+        assert_eq!(snap.engine.chains_assembled, 11);
+        assert_eq!(snap.engine.engine_runs, 0);
+        let json = snap.render_json();
+        assert!(json.contains("\"engine\": {\"chains_assembled\": 11, \"engine_runs\": 0"));
+        assert!(json.contains("\"kernel_memo_hits\""));
+        assert!(snap.engine.kernel_evals < snap.engine.kernel_lookups);
     }
 }

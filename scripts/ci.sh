@@ -25,7 +25,7 @@ done
 cargo run --release -q -- chaos --seed 4 --faults 0.5 > /dev/null
 
 echo "== micro-benchmarks (regression gate + determinism) =="
-cargo run --release -q -- bench --no-wall --check BENCH_PR5.json
+cargo run --release -q -- bench --no-wall --check BENCH_PR6.json
 cargo run --release -q -- bench --json --no-wall --jobs 1 > /tmp/pruneperf-bench-seq.json
 cargo run --release -q -- bench --json --no-wall --jobs 8 > /tmp/pruneperf-bench-par.json
 cmp /tmp/pruneperf-bench-seq.json /tmp/pruneperf-bench-par.json

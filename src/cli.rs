@@ -139,7 +139,7 @@ commands:
             cache recovery — and a byte-identity check across worker counts
   bench     [--json] [--no-wall] [--out PATH] [--check BASELINE]
             fixed micro-benchmark suite; deterministic virtual metrics are
-            regression-diffed against a checked-in baseline (BENCH_PR5.json)
+            regression-diffed against a checked-in baseline (BENCH_PR6.json)
             with --check, wall-clock medians ride along unless --no-wall
 
 every command also accepts --jobs N: worker threads for channel sweeps
@@ -612,6 +612,11 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
             Ok(summary) => {
                 if !json {
                     rendered.push_str(&format!("\n{summary}\n"));
+                    // Wall-clock drift is worth a glance but never gates:
+                    // it only renders when both sides carry wall stats.
+                    if let Some(delta) = suite.wall_delta_against(&baseline) {
+                        rendered.push_str(&format!("{delta}\n"));
+                    }
                 }
             }
             Err(problems) => {
