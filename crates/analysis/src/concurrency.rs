@@ -1,0 +1,639 @@
+//! The concurrency-discipline rules (`CC001`–`CC007`).
+//!
+//! All seven rules read the [`crate::model`] function models and the
+//! [`crate::callgraph`] name-resolved call graph; nothing here touches the
+//! filesystem. The serving arc (ROADMAP item 1) keeps these locks held
+//! under traffic for hours, so the rules encode the discipline the
+//! short-lived CLI paths already follow by convention:
+//!
+//! - `CC001` — the workspace lock-acquisition graph (edges: "guard on A
+//!   live while B is acquired, directly or through calls") has no
+//!   multi-lock cycle. A cycle is a potential deadlock the moment two
+//!   threads interleave.
+//! - `CC002` — no guard held across a call into another lock-taking
+//!   function (warning: the local form of the same hazard).
+//! - `CC003` — no guard held across a parallel fan-out or unwind boundary
+//!   (`ordered_parallel_map`, `contained_parallel_map`, `catch_unwind`,
+//!   `spawn`, `scope`): workers block on the held lock, or the guard's
+//!   panic state escapes the unwind containment.
+//! - `CC004` — lock acquisitions recover from poisoning with the
+//!   established `unwrap_or_else(PoisonError::into_inner)` idiom.
+//! - `CC005` — `Arc<Mutex<_>>` clones handed to spawned threads carry a
+//!   `// lock-order:` doc marker stating the acquisition order.
+//! - `CC006` — no guard discarded with `let _ =` (it drops immediately:
+//!   an empty critical section, almost always a missing `_guard`).
+//! - `CC007` — no lock re-acquired while its own guard is live (with
+//!   `std::sync::Mutex` this deadlocks the thread with certainty).
+//!
+//! Suppression markers (`// lint: allow(key) — why`, same line or the
+//! line above): `lock-order` (CC001/CC007 edges), `guard-call` (CC002),
+//! `guard-fanout` (CC003), `lock-unwrap` (CC004), `discard-guard`
+//! (CC006). CC005's marker is the `// lock-order:` doc itself.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{lock_id_display, CallGraph, LockId};
+use crate::diag::Diagnostic;
+use crate::model::{FunctionModel, GuardBinding, LockSite};
+use crate::rules;
+
+/// Callee names that hand control to other threads or an unwind boundary
+/// while the caller's stack frame (and any live guard) stays pinned.
+const FANOUT_BOUNDARIES: &[&str] = &[
+    "ordered_parallel_map",
+    "ordered_parallel_map_with_stats",
+    "contained_parallel_map",
+    "contained_parallel_map_with_stats",
+    "catch_unwind",
+    "spawn",
+    "scope",
+];
+
+/// Is the site at (`line`, `col`) inside the live range of guard `g`?
+///
+/// Same-line sites count only when they sit to the right of the
+/// acquisition (the acquisition expression itself is not "under" its own
+/// guard); later lines count through the guard's `scope_end`.
+fn under_guard(g: &LockSite, line: usize, col: usize) -> bool {
+    if matches!(g.binding, GuardBinding::Discarded) {
+        return false; // dropped before anything else on the statement runs
+    }
+    (line == g.line && col > g.col) || (line > g.line && line <= g.scope_end)
+}
+
+/// One directed lock-order edge: a guard on `from` was live while `to`
+/// was acquired, with an example site for the diagnostic.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    from: LockId,
+    to: LockId,
+    file: String,
+    line: usize,
+    via: Option<String>, // callee name when the inner acquisition is indirect
+}
+
+/// Runs all CC rules over the call graph's model.
+pub fn check(graph: &CallGraph<'_>) -> Vec<Diagnostic> {
+    let model = graph.model();
+    let trans_locks = graph.transitive_locks();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+
+    for (i, f) in model.functions.iter().enumerate() {
+        check_local_rules(f, &mut diags);
+        collect_guard_crossings(graph, &trans_locks, i, f, &mut diags, &mut edges);
+    }
+    diags.extend(cycle_diagnostics(&edges));
+    diags
+}
+
+/// CC004, CC005, CC006: purely per-function checks.
+fn check_local_rules(f: &FunctionModel, diags: &mut Vec<Diagnostic>) {
+    for l in &f.locks {
+        let loc = format!("{}:{}", f.file, l.line);
+        if l.unwrapped && !l.poison_handled && !f.allows(l.line, "lock-unwrap") {
+            diags.push(
+                Diagnostic::new(
+                    rules::CC004,
+                    rules::rule_info(rules::CC004).map_or(crate::Severity::Error, |r| r.severity),
+                    loc.clone(),
+                    format!(
+                        "`{}.{}()` is consumed by a bare unwrap/expect; a panic \
+                         elsewhere poisons the lock and this site then panics too",
+                        l.path,
+                        l.kind.name()
+                    ),
+                )
+                .with_hint(
+                    "recover from poisoning: `.unwrap_or_else(PoisonError::into_inner)` \
+                     (the workspace idiom), or mark `// lint: allow(lock-unwrap) — why`",
+                ),
+            );
+        }
+        if matches!(l.binding, GuardBinding::Discarded) && !f.allows(l.line, "discard-guard") {
+            diags.push(
+                Diagnostic::new(
+                    rules::CC006,
+                    rules::rule_info(rules::CC006).map_or(crate::Severity::Error, |r| r.severity),
+                    loc,
+                    format!(
+                        "guard from `{}.{}()` is bound to `_` and drops immediately — \
+                         the critical section is empty",
+                        l.path,
+                        l.kind.name()
+                    ),
+                )
+                .with_hint(
+                    "bind to `_guard` to hold the lock for the block, or mark \
+                     `// lint: allow(discard-guard) — why` if the flush is intentional",
+                ),
+            );
+        }
+    }
+    if !f.spawn_lines.is_empty() && !f.arc_mutex_clone_lines.is_empty() && !f.has_lock_order_doc {
+        let line = f.arc_mutex_clone_lines[0];
+        diags.push(
+            Diagnostic::new(
+                rules::CC005,
+                rules::rule_info(rules::CC005).map_or(crate::Severity::Error, |r| r.severity),
+                format!("{}:{}", f.file, line),
+                format!(
+                    "`{}` clones an Arc<Mutex<_>> into a spawned thread without a \
+                     `// lock-order:` doc stating the acquisition order",
+                    f.name
+                ),
+            )
+            .with_hint(
+                "add `// lock-order: <lock, then lock, …>` near the spawn so the \
+                 cross-thread acquisition order is auditable",
+            ),
+        );
+    }
+}
+
+/// CC002, CC003, CC007 plus lock-order edge collection (CC001 input):
+/// everything that depends on what happens *while a guard is live*.
+fn collect_guard_crossings(
+    graph: &CallGraph<'_>,
+    trans_locks: &[BTreeMap<LockId, (String, usize)>],
+    i: usize,
+    f: &FunctionModel,
+    diags: &mut Vec<Diagnostic>,
+    edges: &mut Vec<LockEdge>,
+) {
+    let model = graph.model();
+    for g in &f.locks {
+        let g_id: LockId = (f.file.clone(), g.path.clone());
+        // Direct re-acquisitions and orderings inside the same function.
+        for inner in &f.locks {
+            if std::ptr::eq(g, inner) || !under_guard(g, inner.line, inner.col) {
+                continue;
+            }
+            let inner_id: LockId = (f.file.clone(), inner.path.clone());
+            if f.allows(inner.line, "lock-order") {
+                continue;
+            }
+            if inner_id == g_id {
+                diags.push(self_deadlock(f, g, inner.line, None));
+            } else {
+                edges.push(LockEdge {
+                    from: g_id.clone(),
+                    to: inner_id,
+                    file: f.file.clone(),
+                    line: inner.line,
+                    via: None,
+                });
+            }
+        }
+        // Calls made while the guard is live.
+        for call in &f.calls {
+            if !under_guard(g, call.line, call.col) {
+                continue;
+            }
+            if FANOUT_BOUNDARIES.contains(&call.name.as_str())
+                && !f.allows(call.line, "guard-fanout")
+            {
+                diags.push(
+                    Diagnostic::new(
+                        rules::CC003,
+                        rules::rule_info(rules::CC003)
+                            .map_or(crate::Severity::Error, |r| r.severity),
+                        format!("{}:{}", f.file, call.line),
+                        format!(
+                            "guard on `{}` (acquired at line {}) is held across \
+                             `{}`, a parallel fan-out / unwind boundary",
+                            g.path, g.line, call.name
+                        ),
+                    )
+                    .with_hint(
+                        "drop the guard (or copy what you need out of it) before \
+                         fanning out; workers blocking on a held lock serialize the \
+                         sweep or deadlock it",
+                    ),
+                );
+            }
+            // Same-line calls after the accessor are the acquisition/deref
+            // chain (`.unwrap_or_else(…)`, a chained method on the guarded
+            // data), and a call whose receiver is a live named guard also
+            // targets the guarded data — neither can reach a workspace
+            // lock, so neither feeds the interprocedural rules.
+            if call.line == g.line {
+                continue;
+            }
+            let on_guard_data = f.locks.iter().any(|l| {
+                under_guard(l, call.line, call.col)
+                    && matches!(
+                        &l.binding,
+                        GuardBinding::Named(n) if Some(n.as_str()) == call.recv.as_deref()
+                    )
+            });
+            if on_guard_data {
+                continue;
+            }
+            // Interprocedural: what might the callee lock?
+            let mut callee_hits: BTreeMap<LockId, (String, usize, String)> = BTreeMap::new();
+            for &(callee, _) in graph.callees(i) {
+                if model.functions[callee].name != call.name {
+                    continue;
+                }
+                for (id, site) in &trans_locks[callee] {
+                    callee_hits.entry(id.clone()).or_insert((
+                        site.0.clone(),
+                        site.1,
+                        model.functions[callee].name.clone(),
+                    ));
+                }
+            }
+            let mut warned_cc002 = false;
+            for (id, (_, _, callee_name)) in &callee_hits {
+                if f.allows(call.line, "lock-order") {
+                    continue;
+                }
+                if *id == g_id {
+                    diags.push(self_deadlock(f, g, call.line, Some(callee_name)));
+                } else {
+                    edges.push(LockEdge {
+                        from: g_id.clone(),
+                        to: id.clone(),
+                        file: f.file.clone(),
+                        line: call.line,
+                        via: Some(callee_name.clone()),
+                    });
+                    if !warned_cc002 && !f.allows(call.line, "guard-call") {
+                        warned_cc002 = true;
+                        diags.push(
+                            Diagnostic::new(
+                                rules::CC002,
+                                rules::rule_info(rules::CC002)
+                                    .map_or(crate::Severity::Error, |r| r.severity),
+                                format!("{}:{}", f.file, call.line),
+                                format!(
+                                    "guard on `{}` (acquired at line {}) is held across a \
+                                     call to `{}`, which may acquire `{}`",
+                                    g.path,
+                                    g.line,
+                                    call.name,
+                                    lock_id_display(id)
+                                ),
+                            )
+                            .with_hint(
+                                "drop the guard before calling out, or mark \
+                                 `// lint: allow(guard-call) — why` if the nesting \
+                                 order is globally consistent",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A CC007 diagnostic: the same lock acquired while its own guard lives.
+fn self_deadlock(f: &FunctionModel, g: &LockSite, line: usize, via: Option<&str>) -> Diagnostic {
+    let how = via.map_or_else(
+        || "re-acquired directly".to_string(),
+        |callee| format!("re-acquired through a call to `{callee}`"),
+    );
+    Diagnostic::new(
+        rules::CC007,
+        rules::rule_info(rules::CC007).map_or(crate::Severity::Error, |r| r.severity),
+        format!("{}:{line}", f.file),
+        format!(
+            "lock `{}` is {how} while its own guard (line {}) is still live — \
+             this self-deadlocks with std::sync::Mutex",
+            g.path, g.line
+        ),
+    )
+    .with_hint(
+        "drop the guard first (`drop(guard)`), or restructure so the inner path \
+         receives the guard instead of re-locking; mark `// lint: allow(lock-order)` \
+         only if the receivers are provably distinct instances",
+    )
+}
+
+/// CC001: strongly connected components with ≥ 2 nodes in the lock-order
+/// edge set are reported as potential deadlocks, one diagnostic per
+/// component.
+fn cycle_diagnostics(edges: &[LockEdge]) -> Vec<Diagnostic> {
+    // Dedupe edges between distinct ids, keeping the first example.
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut example: BTreeMap<(String, String), (String, usize, Option<String>)> = BTreeMap::new();
+    for e in edges {
+        let from = lock_id_display(&e.from);
+        let to = lock_id_display(&e.to);
+        adj.entry(from.clone()).or_default().insert(to.clone());
+        adj.entry(to.clone()).or_default();
+        example
+            .entry((from, to))
+            .or_insert((e.file.clone(), e.line, e.via.clone()));
+    }
+    let mut diags = Vec::new();
+    for comp in strongly_connected(&adj) {
+        if comp.len() < 2 {
+            continue;
+        }
+        let mut parts: Vec<String> = Vec::new();
+        for from in &comp {
+            for to in &comp {
+                if let Some((file, line, via)) = example.get(&(from.clone(), to.clone())) {
+                    let via_note = via
+                        .as_ref()
+                        .map(|v| format!(" via `{v}`"))
+                        .unwrap_or_default();
+                    parts.push(format!("`{from}` → `{to}` at {file}:{line}{via_note}"));
+                }
+            }
+        }
+        let first_site = comp
+            .iter()
+            .flat_map(|from| comp.iter().map(move |to| (from.clone(), to.clone())))
+            .filter_map(|k| example.get(&k))
+            .map(|(file, line, _)| format!("{file}:{line}"))
+            .min()
+            .unwrap_or_default();
+        diags.push(
+            Diagnostic::new(
+                rules::CC001,
+                rules::rule_info(rules::CC001).map_or(crate::Severity::Error, |r| r.severity),
+                first_site,
+                format!(
+                    "lock-order cycle between {{{}}}: {}",
+                    comp.join(", "),
+                    parts.join("; ")
+                ),
+            )
+            .with_hint(
+                "pick one global acquisition order for these locks and enforce it at \
+                 every site (document it with `// lock-order:`); a cycle deadlocks the \
+                 moment two threads interleave",
+            ),
+        );
+    }
+    diags
+}
+
+/// Iterative Tarjan SCC over the string-keyed adjacency map, returning
+/// each component as a sorted list of node names, components sorted by
+/// their first node.
+fn strongly_connected(adj: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    let nodes: Vec<&String> = adj.keys().collect();
+    let index_of: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<String>> = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position over its successors).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, pos)) = dfs.last() {
+            if index[v] == usize::MAX {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let succs: Vec<usize> = adj[nodes[v]]
+                .iter()
+                .filter_map(|s| index_of.get(s.as_str()).copied())
+                .collect();
+            if pos < succs.len() {
+                if let Some(top) = dfs.last_mut() {
+                    top.1 += 1;
+                }
+                let w = succs[pos];
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp: Vec<String> = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(nodes[w].clone());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    comps.push(comp);
+                }
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    comps.sort();
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{self, SourceModel};
+
+    fn diags_for(src: &str) -> Vec<Diagnostic> {
+        let functions = model::model_file("lib.rs", src);
+        let m = SourceModel {
+            functions,
+            files: 1,
+        };
+        let g = CallGraph::build(&m);
+        check(&g)
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_lock_discipline_passes() {
+        let src = "\
+fn f(&self) {
+    let mut table = self.shard(d).lock().unwrap_or_else(PoisonError::into_inner);
+    table.insert(k, v);
+    drop(table);
+    self.publish();
+}
+fn publish(&self) { }
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+
+    #[test]
+    fn cc001_detects_lock_order_cycles() {
+        let src = "\
+fn ab(&self) {
+    let a = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(b);
+    drop(a);
+}
+fn ba(&self) {
+    let b = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(a);
+    drop(b);
+}
+";
+        let diags = diags_for(src);
+        assert!(rules_of(&diags).contains(&rules::CC001), "{diags:?}");
+    }
+
+    #[test]
+    fn cc002_warns_on_call_under_guard_into_locker() {
+        let src = "\
+fn outer(&self) {
+    let g = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+    self.locker();
+    drop(g);
+}
+fn locker(&self) {
+    let h = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(h);
+}
+";
+        let diags = diags_for(src);
+        assert!(rules_of(&diags).contains(&rules::CC002), "{diags:?}");
+        // A one-way nesting is not a cycle.
+        assert!(!rules_of(&diags).contains(&rules::CC001), "{diags:?}");
+    }
+
+    #[test]
+    fn cc003_flags_guard_across_fanout() {
+        let src = "\
+fn f(&self, items: &[u32]) {
+    let g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+    let out = ordered_parallel_map(items, 4, |x| x + 1);
+    drop(g);
+}
+";
+        let diags = diags_for(src);
+        assert_eq!(rules_of(&diags), vec![rules::CC003], "{diags:?}");
+    }
+
+    #[test]
+    fn cc004_flags_bare_lock_unwrap() {
+        let src = "fn f(&self) { let g = self.m.lock().unwrap(); drop(g); }\n";
+        let diags = diags_for(src);
+        assert!(rules_of(&diags).contains(&rules::CC004), "{diags:?}");
+        let marked =
+            "fn f(&self) { let g = self.m.lock().unwrap(); drop(g); } // lint: allow(lock-unwrap) — test\n";
+        assert!(diags_for(marked).is_empty());
+    }
+
+    #[test]
+    fn cc005_requires_lock_order_doc_on_cross_thread_clones() {
+        let src = "\
+fn f() {
+    let shared: Arc<Mutex<u32>> = Arc::new(Mutex::new(0));
+    let clone = shared.clone();
+    std::thread::spawn(move || use_it(clone));
+}
+";
+        let diags = diags_for(src);
+        assert_eq!(rules_of(&diags), vec![rules::CC005], "{diags:?}");
+        let documented = src.replace(
+            "let clone = shared.clone();",
+            "// lock-order: shared only, no nesting\n    let clone = shared.clone();",
+        );
+        assert!(diags_for(&documented).is_empty());
+    }
+
+    #[test]
+    fn cc006_flags_discarded_guards() {
+        let src = "fn f(&self) { let _ = self.m.lock(); }\n";
+        let diags = diags_for(src);
+        assert_eq!(rules_of(&diags), vec![rules::CC006], "{diags:?}");
+    }
+
+    #[test]
+    fn cc007_flags_direct_and_indirect_self_deadlock() {
+        let direct = "\
+fn f(&self) {
+    let g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+    let h = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(h);
+    drop(g);
+}
+";
+        assert!(rules_of(&diags_for(direct)).contains(&rules::CC007));
+        let indirect = "\
+fn f(&self) {
+    let g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+    self.helper();
+    drop(g);
+}
+fn helper(&self) {
+    let h = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(h);
+}
+";
+        assert!(rules_of(&diags_for(indirect)).contains(&rules::CC007));
+    }
+
+    #[test]
+    fn methods_on_the_guard_itself_are_not_lock_taking_calls() {
+        // `table.clear()` is HashMap::clear on the guarded data, even
+        // though the workspace has a lock-taking `clear()` — the guard
+        // receiver must shield it from name resolution.
+        let src = "\
+fn wipe(&self) {
+    let mut table = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+    table.clear();
+    drop(table);
+}
+fn clear(&self) {
+    self.shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
+}
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+
+    #[test]
+    fn guard_scope_ends_at_drop() {
+        let src = "\
+fn f(&self, items: &[u32]) {
+    let g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+    drop(g);
+    let out = ordered_parallel_map(items, 4, |x| x + 1);
+}
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+
+    #[test]
+    fn scc_finds_two_cycles() {
+        let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut edge = |a: &str, b: &str| {
+            adj.entry(a.into()).or_default().insert(b.into());
+            adj.entry(b.into()).or_default();
+        };
+        edge("a", "b");
+        edge("b", "a");
+        edge("c", "d");
+        edge("d", "c");
+        edge("a", "c");
+        let comps: Vec<Vec<String>> = strongly_connected(&adj)
+            .into_iter()
+            .filter(|c| c.len() > 1)
+            .collect();
+        assert_eq!(comps, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+}

@@ -114,6 +114,8 @@ pub struct Report {
     pub networks_verified: usize,
     /// Chain traces checked by the schedule auditor.
     pub traces_audited: usize,
+    /// Functions modeled by the concurrency/panic-path analyses.
+    pub functions_modeled: usize,
 }
 
 impl Report {
@@ -126,6 +128,7 @@ impl Report {
             files_scanned: 0,
             networks_verified: 0,
             traces_audited: 0,
+            functions_modeled: 0,
         }
     }
 
@@ -138,6 +141,7 @@ impl Report {
         self.files_scanned += other.files_scanned;
         self.networks_verified += other.networks_verified;
         self.traces_audited += other.traces_audited;
+        self.functions_modeled += other.functions_modeled;
     }
 
     /// The findings, in canonical order.
@@ -174,13 +178,14 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "lint: {} error(s), {} warning(s) over {} plan(s), {} file(s), {} network(s) and {} trace(s)\n",
+            "lint: {} error(s), {} warning(s) over {} plan(s), {} file(s), {} network(s), {} trace(s) and {} function(s)\n",
             self.errors(),
             self.warnings(),
             self.plans_audited,
             self.files_scanned,
             self.networks_verified,
-            self.traces_audited
+            self.traces_audited,
+            self.functions_modeled
         ));
         out
     }
@@ -190,13 +195,14 @@ impl Report {
         let mut out = String::from("{\n");
         out.push_str("  \"version\": 1,\n");
         out.push_str(&format!(
-            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"plans_audited\": {}, \"files_scanned\": {}, \"networks_verified\": {}, \"traces_audited\": {}}},\n",
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"plans_audited\": {}, \"files_scanned\": {}, \"networks_verified\": {}, \"traces_audited\": {}, \"functions_modeled\": {}}},\n",
             self.errors(),
             self.warnings(),
             self.plans_audited,
             self.files_scanned,
             self.networks_verified,
-            self.traces_audited
+            self.traces_audited,
+            self.functions_modeled
         ));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {

@@ -18,19 +18,35 @@
 //!   the simulator's [`pruneperf_gpusim::ChainTrace`] schedules —
 //!   disjointness, workgroup conservation, totals, utilization and
 //!   dispatch-plan agreement (rules `TA001`–`TA006`).
+//! - **Concurrency discipline** ([`concurrency`]): a whole-workspace
+//!   lock-acquisition analysis over the [`model`] per-function source
+//!   models and the [`callgraph`] name-resolved call graph — lock-order
+//!   cycles, guards held across lock-taking calls or parallel fan-out
+//!   boundaries, poison recovery, cross-thread sharing docs (rules
+//!   `CC001`–`CC007`).
+//! - **Panic-path reachability** ([`panic_path`]): interprocedural
+//!   reachability from the fallible API surface (`try_cost`,
+//!   `try_measure`, `try_run`, `latency_curve_partial`, `with_retry`) to
+//!   every panic source — unwrap/expect, panicking macros, indexing and
+//!   div-by-len (rules `PN001`–`PN003`).
 //!
 //! All layers report through the shared [`Diagnostic`]/[`Report`] core in
 //! [`diag`], which renders human or JSON output in a canonical order so
 //! parallel runs are byte-identical. The rule catalog with stable ids
 //! lives in [`rules`]. The `pruneperf lint` CLI subcommand and the CI
 //! `lint` job drive [`run_full`]; `pruneperf audit` and the CI `audit`
-//! job drive [`run_audit`].
+//! job drive [`run_audit`]; `pruneperf check` and the CI `check` job
+//! drive [`run_check`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod concurrency;
 pub mod diag;
+pub mod model;
 pub mod network_verify;
+pub mod panic_path;
 pub mod plan_audit;
 pub mod rules;
 pub mod source_lint;
@@ -66,4 +82,25 @@ pub fn run_audit(jobs: usize) -> Report {
     let mut report = audit_network_grid(jobs);
     report.merge(audit_trace_grid(jobs));
     report
+}
+
+/// Runs the concurrency-discipline and panic-path analyses over the
+/// source tree at `root` and merges them into one report.
+///
+/// Per-file model building fans out over `jobs` workers with
+/// input-ordered reduction; the graph analyses are sequential over the
+/// merged model, so the report is byte-identical at any worker count.
+///
+/// # Errors
+///
+/// Returns any I/O error from reading the source tree.
+pub fn run_check(root: &Path, jobs: usize) -> io::Result<Report> {
+    let source_model = model::build_model(root, jobs)?;
+    let graph = callgraph::CallGraph::build(&source_model);
+    let mut diags = concurrency::check(&graph);
+    diags.extend(panic_path::check(&graph));
+    let mut report = Report::new(diags);
+    report.files_scanned = source_model.files;
+    report.functions_modeled = source_model.functions.len();
+    Ok(report)
 }

@@ -1,0 +1,179 @@
+//! The panic-path reachability rules (`PN001`–`PN003`).
+//!
+//! The PR-4 contract for the fallible API surface — `try_cost`,
+//! `try_measure`, `try_run`, `latency_curve_partial` and the
+//! fault-injection `with_retry` — is "errors, never panics". The source
+//! lint's `SL005` enforces that per-line for `unwrap`; these rules
+//! upgrade it to *interprocedural*: a panic source anywhere in the code
+//! transitively reachable from a fallible entry point is a contract
+//! violation, however many calls deep it hides.
+//!
+//! - `PN001` — unmarked `.unwrap()` / `.expect(…)` (marker:
+//!   `lint: allow(unwrap)`, shared with `SL005` so one justification
+//!   serves both).
+//! - `PN002` — a panicking macro (`panic!`, `assert!`, `assert_eq!`,
+//!   `assert_ne!`, `unreachable!`, `todo!`, `unimplemented!`; marker:
+//!   `lint: allow(panic)`). `debug_assert*` is exempt — it compiles out
+//!   of release builds, which is what the serving arc runs.
+//! - `PN003` — implicit panics: slice/array indexing (marker:
+//!   `lint: allow(index)`) and division/remainder with a
+//!   `.len()`/`.count()` divisor (marker: `lint: allow(div)`).
+//!
+//! Each diagnostic carries the shortest root→site call chain so the
+//! reader can see *why* the site is on the fallible path. Reachability is
+//! over the [`crate::callgraph`] name-resolved graph, so it inherits that
+//! graph's over-approximation (documented in `DESIGN.md` §12): a finding
+//! here means "may be reachable", and the marker is the reviewed claim
+//! that the site cannot actually fire.
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::model::PanicKind;
+use crate::rules;
+
+/// Bare names of the fallible API surface — the reachability roots.
+pub const FALLIBLE_ROOTS: &[&str] = &[
+    "latency_curve_partial",
+    "try_cost",
+    "try_measure",
+    "try_run",
+    "with_retry",
+];
+
+/// Runs the PN rules over the call graph's model.
+pub fn check(graph: &CallGraph<'_>) -> Vec<Diagnostic> {
+    let model = graph.model();
+    let mut roots: Vec<usize> = Vec::new();
+    for name in FALLIBLE_ROOTS {
+        roots.extend_from_slice(graph.functions_named(name));
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    let (reached, parent, root_of) = graph.reach_from(&roots);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (i, f) in model.functions.iter().enumerate() {
+        if !reached[i] {
+            continue;
+        }
+        let root_name = root_of[i]
+            .map(|r| model.functions[r].name.as_str())
+            .unwrap_or("?");
+        let chain = graph.chain_to(&parent, i, 6);
+        for p in &f.panics {
+            let (rule, marker) = match p.kind {
+                PanicKind::Unwrap => (rules::PN001, "unwrap"),
+                PanicKind::Macro => (rules::PN002, "panic"),
+                PanicKind::Index => (rules::PN003, "index"),
+                PanicKind::DivByLen => (rules::PN003, "div"),
+            };
+            let severity = rules::rule_info(rule).map_or(crate::Severity::Error, |r| r.severity);
+            diags.push(
+                Diagnostic::new(
+                    rule,
+                    severity,
+                    format!("{}:{}", f.file, p.line),
+                    format!(
+                        "`{}` may panic on the fallible path: reachable from `{}` \
+                         via {}",
+                        p.token, root_name, chain
+                    ),
+                )
+                .with_hint(format!(
+                    "return an error instead, or mark the site \
+                     `// lint: allow({marker}) — <why it cannot fire>`"
+                )),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{self, SourceModel};
+
+    fn diags_for(src: &str) -> Vec<Diagnostic> {
+        let functions = model::model_file("lib.rs", src);
+        let m = SourceModel {
+            functions,
+            files: 1,
+        };
+        let g = CallGraph::build(&m);
+        check(&g)
+    }
+
+    #[test]
+    fn panic_sites_off_the_fallible_path_are_ignored() {
+        let src = "\
+fn helper(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+fn unrelated(v: &[u32]) -> u32 {
+    helper(v)
+}
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+
+    #[test]
+    fn pn001_reaches_through_calls_with_a_chain() {
+        let src = "\
+fn try_cost(v: &[u32]) -> Result<u32, ()> {
+    Ok(mid(v))
+}
+fn mid(v: &[u32]) -> u32 {
+    leaf(v)
+}
+fn leaf(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+";
+        let diags = diags_for(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, rules::PN001);
+        assert!(
+            diags[0].message.contains("try_cost → mid → leaf"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn pn002_flags_reachable_asserts() {
+        let src = "\
+fn try_run(n: usize) -> Result<usize, ()> {
+    assert!(n > 0);
+    Ok(n)
+}
+";
+        let diags = diags_for(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, rules::PN002);
+    }
+
+    #[test]
+    fn pn003_flags_indexing_and_div_by_len() {
+        let src = "\
+fn try_measure(v: &[u32], n: usize) -> Result<u32, ()> {
+    let a = v[n + 1];
+    let b = n / v.len();
+    Ok(a + b as u32)
+}
+";
+        let diags = diags_for(src);
+        let rules_found: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules_found, vec![rules::PN003, rules::PN003], "{diags:?}");
+    }
+
+    #[test]
+    fn markers_suppress_reachable_sites() {
+        let src = "\
+fn try_cost(v: &[u32]) -> Result<u32, ()> {
+    // lint: allow(unwrap) — verified non-empty by the caller contract
+    Ok(v.first().copied().unwrap())
+}
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+}

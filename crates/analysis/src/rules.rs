@@ -6,7 +6,8 @@
 //! To add a rule: pick the next free id in the right family (see
 //! [`FAMILIES`]), add a [`RuleInfo`] row here, implement the check in
 //! [`crate::plan_audit`] / [`crate::source_lint`] /
-//! [`crate::network_verify`] / [`crate::trace_audit`] citing the id, and
+//! [`crate::network_verify`] / [`crate::trace_audit`] /
+//! [`crate::concurrency`] / [`crate::panic_path`] citing the id, and
 //! add at least one test that seeds a violation.
 
 use crate::diag::Severity;
@@ -15,7 +16,8 @@ use crate::diag::Severity;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuleInfo {
     /// Stable id (`PA…` = plan audit, `SL…` = source lint,
-    /// `NV…` = network dataflow verifier, `TA…` = schedule-trace auditor).
+    /// `NV…` = network dataflow verifier, `TA…` = schedule-trace auditor,
+    /// `CC…` = concurrency discipline, `PN…` = panic-path reachability).
     pub id: &'static str,
     /// Default severity of a violation.
     pub severity: Severity,
@@ -100,6 +102,41 @@ pub const NV007: &str = "NV007";
 /// Peak per-op working set (activations + conv weights) fits the
 /// device's GPU heap.
 pub const NV008: &str = "NV008";
+
+/// The workspace lock-acquisition graph is free of multi-lock cycles
+/// (no lock-order inversion → no potential deadlock).
+pub const CC001: &str = "CC001";
+/// No lock guard is held across a call into another lock-taking
+/// function — drop the guard (or restructure) before calling out.
+pub const CC002: &str = "CC002";
+/// No lock guard is held across a parallel fan-out or unwind boundary
+/// (`ordered_parallel_map`, `contained_parallel_map`, `catch_unwind`,
+/// `spawn`, `scope`).
+pub const CC003: &str = "CC003";
+/// Lock acquisitions recover from poisoning via
+/// `unwrap_or_else(PoisonError::into_inner)` — never a bare
+/// `lock().unwrap()`.
+pub const CC004: &str = "CC004";
+/// `Arc<Mutex<_>>`/`Arc<RwLock<_>>` values cloned into spawned threads
+/// carry a `// lock-order:` doc marker stating the acquisition order.
+pub const CC005: &str = "CC005";
+/// No lock guard is discarded with `let _ =` — the guard drops
+/// immediately, so the critical section is empty.
+pub const CC006: &str = "CC006";
+/// No lock is re-acquired (directly or through calls) while its own
+/// guard is still live — a guaranteed self-deadlock with `Mutex`.
+pub const CC007: &str = "CC007";
+
+/// No unmarked `unwrap()`/`expect()` transitively reachable from the
+/// fallible API surface (`try_cost`, `try_measure`, `try_run`,
+/// `latency_curve_partial`, `with_retry`).
+pub const PN001: &str = "PN001";
+/// No panicking macro (`panic!`, `assert!`, …) transitively reachable
+/// from the fallible API surface.
+pub const PN002: &str = "PN002";
+/// No unmarked slice/array indexing or div-by-`len()` transitively
+/// reachable from the fallible API surface.
+pub const PN003: &str = "PN003";
 
 /// Per-core spans are disjoint with non-decreasing start times.
 pub const TA001: &str = "TA001";
@@ -246,6 +283,56 @@ pub const CATALOG: &[RuleInfo] = &[
         summary: "peak per-op working set fits the device GPU heap",
     },
     RuleInfo {
+        id: CC001,
+        severity: Severity::Error,
+        summary: "the workspace lock-acquisition graph has no multi-lock cycle",
+    },
+    RuleInfo {
+        id: CC002,
+        severity: Severity::Warning,
+        summary: "no guard held across a call into another lock-taking function",
+    },
+    RuleInfo {
+        id: CC003,
+        severity: Severity::Error,
+        summary: "no guard held across a parallel fan-out or unwind boundary",
+    },
+    RuleInfo {
+        id: CC004,
+        severity: Severity::Error,
+        summary: "lock acquisitions recover from poisoning, never lock().unwrap()",
+    },
+    RuleInfo {
+        id: CC005,
+        severity: Severity::Warning,
+        summary: "Arc<Mutex<_>> clones crossing spawn carry a lock-order: doc",
+    },
+    RuleInfo {
+        id: CC006,
+        severity: Severity::Error,
+        summary: "no guard discarded with let _ = (empty critical section)",
+    },
+    RuleInfo {
+        id: CC007,
+        severity: Severity::Error,
+        summary: "no lock re-acquired while its own guard is live",
+    },
+    RuleInfo {
+        id: PN001,
+        severity: Severity::Error,
+        summary: "no unmarked unwrap()/expect() reachable from the fallible API",
+    },
+    RuleInfo {
+        id: PN002,
+        severity: Severity::Error,
+        summary: "no panicking macro reachable from the fallible API",
+    },
+    RuleInfo {
+        id: PN003,
+        severity: Severity::Error,
+        summary: "no unmarked indexing or div-by-len reachable from the fallible API",
+    },
+    RuleInfo {
         id: TA001,
         severity: Severity::Error,
         summary: "per-core spans are disjoint with non-decreasing starts",
@@ -287,6 +374,8 @@ pub const FAMILIES: &[(&str, &str)] = &[
     ("SL", "source lint"),
     ("NV", "network dataflow verifier"),
     ("TA", "schedule-trace auditor"),
+    ("CC", "concurrency discipline"),
+    ("PN", "panic-path reachability"),
 ];
 
 /// Looks up a rule's catalog row.

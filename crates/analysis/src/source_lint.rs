@@ -264,7 +264,7 @@ fn scan_file(rel: &str, raw: &str, workspace: bool) -> Vec<Diagnostic> {
 }
 
 /// `// lint: allow(key)` on this line?
-fn marker_allows(raw_line: &str, key: &str) -> bool {
+pub(crate) fn marker_allows(raw_line: &str, key: &str) -> bool {
     let Some(idx) = raw_line.find("lint: allow(") else {
         return false;
     };
@@ -480,7 +480,7 @@ fn undocumented_pub_item(raw_lines: &[&str], i: usize) -> Option<&'static str> {
 
 /// Blanks comments and string/char literal contents, preserving the line
 /// structure, so pattern matching never fires inside text.
-fn strip_code(src: &str) -> String {
+pub(crate) fn strip_code(src: &str) -> String {
     let b: Vec<char> = src.chars().collect();
     let n = b.len();
     let mut out = String::with_capacity(src.len());

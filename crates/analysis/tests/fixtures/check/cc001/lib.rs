@@ -1,0 +1,23 @@
+//! Seeded CC001 violation: two functions acquire the same pair of locks
+//! in opposite orders, closing a cycle in the lock-order graph.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn a_then_b(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn b_then_a(&self) -> u32 {
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        *gb - *ga
+    }
+}

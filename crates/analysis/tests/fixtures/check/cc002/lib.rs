@@ -1,0 +1,21 @@
+//! Seeded CC002 violation: a guard is held across a call into another
+//! function that takes a different lock.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Holder {
+    inner: Mutex<u32>,
+    other: Mutex<u32>,
+}
+
+fn drain(other: &Mutex<u32>) -> u32 {
+    *other.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Holder {
+    pub fn bad(&self) -> u32 {
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let drained = drain(&self.other);
+        *g + drained
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded CC003 violation: a guard is held across a parallel fan-out
+//! boundary, so every worker blocks on (or poisons) the held lock.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Batch {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Batch {
+    pub fn bad_fanout(&self, items: &[u32]) -> Vec<u32> {
+        let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let base = g.len() as u32;
+        ordered_parallel_map(items.len(), 4, |i| items[i] + base)
+    }
+}
+
+fn ordered_parallel_map(n: usize, _jobs: usize, f: impl Fn(usize) -> u32) -> Vec<u32> {
+    (0..n).map(f).collect()
+}

@@ -1,0 +1,16 @@
+//! Seeded CC004 violation: a lock acquisition consumed by a bare
+//! `unwrap()` instead of the poison-recovery idiom.
+
+use std::sync::Mutex;
+
+pub struct Counter {
+    count: Mutex<u64>,
+}
+
+impl Counter {
+    pub fn bump(&self) -> u64 {
+        let mut g = self.count.lock().unwrap();
+        *g += 1;
+        *g
+    }
+}

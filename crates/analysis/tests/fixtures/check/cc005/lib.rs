@@ -1,0 +1,13 @@
+//! Seeded CC005 violation: an `Arc<Mutex<_>>` cloned into a spawned
+//! thread with no `// lock-order:` doc stating the acquisition order.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+pub fn share_counter() -> Arc<Mutex<u64>> {
+    let shared: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let clone = shared.clone();
+    std::thread::spawn(move || {
+        *clone.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+    });
+    shared
+}

@@ -1,0 +1,14 @@
+//! Seeded CC006 violation: the guard is bound to `_` and drops before
+//! the next statement runs — an empty critical section.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Flusher {
+    pending: Mutex<Vec<u32>>,
+}
+
+impl Flusher {
+    pub fn bad_barrier(&self) {
+        let _ = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+    }
+}

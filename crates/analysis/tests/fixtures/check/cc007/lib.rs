@@ -1,0 +1,16 @@
+//! Seeded CC007 violation: the same lock is re-acquired while its own
+//! guard is still live — a guaranteed self-deadlock with `std::sync`.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Reentrant {
+    state: Mutex<u32>,
+}
+
+impl Reentrant {
+    pub fn bad_reentry(&self) -> u32 {
+        let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let h = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *g + *h
+    }
+}

@@ -1,0 +1,42 @@
+//! A tree that exercises locks, fan-out and the fallible surface while
+//! violating no CC/PN rule: consistent lock order, poison recovery,
+//! guards dropped before calls, and error returns instead of panics.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Clean {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Clean {
+    pub fn a_then_b(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn also_a_then_b(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga * *gb
+    }
+
+    pub fn snapshot_then_work(&self) -> u32 {
+        let snapshot = {
+            let ga = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+            *ga
+        };
+        expensive(snapshot)
+    }
+}
+
+fn expensive(n: u32) -> u32 {
+    n.saturating_mul(3)
+}
+
+pub fn try_cost(v: &[u32]) -> Result<u32, ()> {
+    let first = v.first().copied().ok_or(())?;
+    let denom = v.len() as u32;
+    Ok(first.checked_div(denom).unwrap_or(0))
+}

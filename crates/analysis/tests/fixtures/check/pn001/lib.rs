@@ -1,0 +1,14 @@
+//! Seeded PN001 violation: an unmarked `unwrap()` two calls deep on the
+//! fallible path rooted at `try_cost`.
+
+pub fn try_cost(v: &[u32]) -> Result<u32, ()> {
+    Ok(mid(v))
+}
+
+fn mid(v: &[u32]) -> u32 {
+    leaf(v)
+}
+
+fn leaf(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

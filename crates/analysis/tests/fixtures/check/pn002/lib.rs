@@ -1,0 +1,11 @@
+//! Seeded PN002 violation: a release-mode `assert!` inside the fallible
+//! path rooted at `try_run`.
+
+pub fn try_run(n: usize) -> Result<usize, ()> {
+    Ok(scale(n))
+}
+
+fn scale(n: usize) -> usize {
+    assert!(n > 0, "scale factor must be positive");
+    n * 2
+}

@@ -1,0 +1,8 @@
+//! Seeded PN003 violations: an unchecked slice index and a division by a
+//! `.len()` divisor, both on the fallible path rooted at `try_measure`.
+
+pub fn try_measure(v: &[u32], n: usize) -> Result<u32, ()> {
+    let first = v[n + 1];
+    let ratio = (n / v.len()) as u32;
+    Ok(first + ratio)
+}

@@ -43,6 +43,7 @@ impl AccuracyModel {
     /// ResNet-50); `sensitivity` scales how much accuracy a fully pruned
     /// layer would cost (default via [`AccuracyModel::for_network`]: 0.30).
     pub fn new(network: &Network, base_accuracy: f64, sensitivity: f64) -> Self {
+        // lint: allow(panic) — documented precondition: base_accuracy is a fraction
         assert!(
             (0.0..=1.0).contains(&base_accuracy),
             "base accuracy must be a fraction"

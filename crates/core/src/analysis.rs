@@ -180,6 +180,7 @@ fn build(
             .collect();
         for (row, &d) in distances.iter().enumerate() {
             let cell = if d <= ratios.len() {
+                // lint: allow(index) — guarded by `d <= ratios.len()` on the line above
                 ratios[..d]
                     .iter()
                     .copied()
@@ -189,6 +190,7 @@ fn build(
             } else {
                 None
             };
+            // lint: allow(index) — row comes from enumerate() over cells' own rows
             cells[row].push(cell);
         }
     }

@@ -335,6 +335,7 @@ impl<'d> Engine<'d> {
                 counters.submissions += 1;
             }
             let start = now_us;
+            // lint: allow(index) — scratch columns get one push per chain job above
             now_us += overhead + scratch.gpu_us[i];
             // CPU time spent dispatching. (mW * µs = nJ; / 1000 -> µJ.)
             dispatch_energy_uj += d.dispatch_mw() * overhead / 1e6;
@@ -346,11 +347,13 @@ impl<'d> Engine<'d> {
                 name: kernel.name().to_string(),
                 start_us: start,
                 end_us: now_us,
+                // lint: allow(index) — scratch columns get one push per chain job above
                 gpu_cycles: scratch.gpu_cycles[i].round() as u64,
                 arith_instructions: kernel.total_arith(),
                 mem_instructions: kernel.total_mem(),
                 workgroups: kernel.workgroup_count(),
                 footprint_bytes: kernel.footprint_bytes(),
+                // lint: allow(index) — scratch columns get one push per chain job above
                 energy_uj: scratch.energy_uj[i],
             });
         }

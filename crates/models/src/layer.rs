@@ -47,10 +47,12 @@ impl ConvLayerSpec {
         h_in: usize,
         w_in: usize,
     ) -> Self {
+        // lint: allow(panic) — documented precondition; with_c_out validates before reaching here
         assert!(
             kernel > 0 && stride > 0 && c_in > 0 && c_out > 0 && h_in > 0 && w_in > 0,
             "layer extents must be non-zero"
         );
+        // lint: allow(panic) — documented precondition; with_c_out validates before reaching here
         assert!(
             h_in + 2 * pad >= kernel && w_in + 2 * pad >= kernel,
             "kernel must fit the padded input"

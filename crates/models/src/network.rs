@@ -26,7 +26,9 @@ impl Network {
     pub fn new(name: impl Into<String>, layers: Vec<ConvLayerSpec>) -> Self {
         let name = name.into();
         for (i, a) in layers.iter().enumerate() {
+            // lint: allow(index) — i + 1 <= len because i comes from enumerate()
             for b in &layers[i + 1..] {
+                // lint: allow(panic) — documented # Panics contract: catalogs are static data
                 assert_ne!(a.label(), b.label(), "duplicate layer label in {name}");
             }
         }

@@ -72,6 +72,7 @@ pub fn channel_l1_norms(layer: &ConvLayerSpec) -> Vec<f32> {
     let filter_len = kh * kw * i;
     (0..o)
         .map(|oc| {
+            // lint: allow(index) — oc < o and the slice length is o * filter_len by shape
             w.as_slice()[oc * filter_len..(oc + 1) * filter_len]
                 .iter()
                 .map(|v| v.abs())

@@ -443,11 +443,13 @@ impl LatencyCache {
     /// the low bits for their own indexing, and sharing those across the
     /// shard split would cluster every shard's keys.
     fn shard(&self, digest: u64) -> &Mutex<Shard> {
+        // lint: allow(index) — masked with SHARDS - 1, always in-bounds
         &self.shards[(digest >> 60) as usize & (SHARDS - 1)]
     }
 
     /// The counter set paired with [`LatencyCache::shard`] for `digest`.
     fn shard_counters(&self, digest: u64) -> &ShardCounters {
+        // lint: allow(index) — masked with SHARDS - 1, always in-bounds
         &self.counters[(digest >> 60) as usize & (SHARDS - 1)]
     }
 

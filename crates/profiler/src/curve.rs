@@ -70,6 +70,7 @@ impl LatencyCurve {
     ) -> Self {
         match Self::try_new(layer_label, backend, device, points) {
             Ok(curve) => curve,
+            // lint: allow(panic) — new() is the documented panicking twin; fallible callers use try_new
             Err(e) => panic!("{e}"),
         }
     }
@@ -92,9 +93,12 @@ impl LatencyCurve {
         if points.is_empty() {
             return Err(CurveError::Empty);
         }
+        // lint: allow(index) — windows(2) guarantees two elements
         if let Some(w) = points.windows(2).find(|w| w[0].channels >= w[1].channels) {
             return Err(CurveError::NonIncreasing {
+                // lint: allow(index) — windows(2) guarantees two elements
                 prev: w[0].channels,
+                // lint: allow(index) — windows(2) guarantees two elements
                 next: w[1].channels,
             });
         }

@@ -180,6 +180,7 @@ where
             // lint: allow(unwrap) — join only fails if the worker panicked
             let (out, caught) = handle.join().expect("contained sweep worker cannot panic");
             for (i, r) in out {
+                // lint: allow(index) — i < items.len() from the worker's claimed index
                 slots[i] = Some(r);
             }
             panics.extend(caught);
@@ -233,6 +234,7 @@ where
 {
     let (slots, panics) = contained_parallel_map_with_stats(items, jobs, stats, f);
     if let Some(p) = panics.first() {
+        // lint: allow(panic) — re-raises a worker panic by contract; fallible-path closures return Result and do not panic
         panic!(
             "sweep worker panicked on item {} of {}: {}",
             p.index,

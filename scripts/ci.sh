@@ -12,9 +12,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests =="
 cargo test --workspace
 
-echo "== static analysis (lint + audit) =="
+echo "== static analysis (lint + audit + check) =="
 cargo run --release -- lint --deny-warnings
 cargo run --release -- audit --deny-warnings
+cargo run --release -- check --deny-warnings
+cargo run --release -q -- check --json --jobs 1 > /tmp/pruneperf-check-seq.json
+cargo run --release -q -- check --json --jobs 8 > /tmp/pruneperf-check-par.json
+cmp /tmp/pruneperf-check-seq.json /tmp/pruneperf-check-par.json
 
 echo "== chaos drill (fault injection, byte-identical across worker counts) =="
 for seed in 1 2 3; do
@@ -38,7 +42,8 @@ cmp /tmp/pruneperf-trace-seq.json /tmp/pruneperf-trace-par.json
 echo "== benches (compile + smoke) =="
 cargo bench -p pruneperf-bench -- --test
 
-echo "== paper experiments =="
-cargo run --release -p pruneperf-bench --bin repro -- all
+echo "== paper experiments (and artifact freshness) =="
+cargo run --release -p pruneperf-bench --bin repro -- all --json repro_results.json > repro_output.txt
+git diff --exit-code -- repro_output.txt repro_results.json
 
 echo "CI OK"

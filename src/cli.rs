@@ -133,6 +133,10 @@ commands:
   audit     [--json] [--deny-warnings]
             verify whole-network dataflow (stock + pruned assemblies,
             greedy pruning plans) and audit simulator schedule traces
+  check     [--json] [--deny-warnings] [--root PATH]
+            concurrency & panic-path analysis: lock-order cycles, guards
+            held across lock-taking calls or parallel fan-out, poison
+            recovery, and panic sources reachable from the fallible API
   chaos     [--seed S] [--faults RATE] [--jobs N] [--json] [--trace-out PATH]
             deterministic fault-injection drill: transient-fault retries,
             permanent-fault curve gaps, contained worker panics, poisoned
@@ -166,6 +170,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     if command == "audit" {
         // Boolean flags, like `lint`.
         return cmd_audit(&args[1..]);
+    }
+    if command == "check" {
+        // Boolean flags, like `lint`.
+        return cmd_check(&args[1..]);
     }
     if command == "chaos" {
         // Boolean flags, like `lint`; also manages the worker count
@@ -453,6 +461,50 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     let root = root.unwrap_or_else(|| env!("CARGO_MANIFEST_DIR").to_string());
     let report = pruneperf_analysis::run_full(std::path::Path::new(&root), sweep::sweep_jobs())
         .map_err(|e| err(format!("lint: cannot read sources under '{root}': {e}")))?;
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if report.errors() > 0 || (deny_warnings && report.warnings() > 0) {
+        Err(CliError(rendered))
+    } else {
+        Ok(rendered)
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<String, CliError> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => {
+                let v = it.next().ok_or_else(|| err("flag --root needs a value"))?;
+                root = Some(v.clone());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| err("flag --jobs needs a value"))?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| err("--jobs must be a non-negative integer"))?,
+                );
+            }
+            other => {
+                return Err(err(format!(
+                    "unexpected argument '{other}' (check takes --json, --deny-warnings, --root PATH, --jobs N)"
+                )))
+            }
+        }
+    }
+    sweep::set_sweep_jobs(sweep::resolve_jobs(jobs));
+    let root = root.unwrap_or_else(|| env!("CARGO_MANIFEST_DIR").to_string());
+    let report = pruneperf_analysis::run_check(std::path::Path::new(&root), sweep::sweep_jobs())
+        .map_err(|e| err(format!("check: cannot read sources under '{root}': {e}")))?;
     let rendered = if json {
         report.render_json()
     } else {
