@@ -4,11 +4,12 @@
 //! Resolution is by bare callee name: a call site `shard(…)` is deemed to
 //! reach *every* workspace function named `shard`, whatever its type. That
 //! over-approximates (unrelated same-named methods become edges) and never
-//! under-approximates within first-party code — the right bias for both
-//! consumers: the concurrency rules want every lock a callee *might* take,
-//! and the panic-path rules want every panic a fallible entry point
-//! *might* reach. Calls into `std` or vendored dependencies resolve to
-//! nothing and are ignored.
+//! under-approximates within first-party code — the right bias for every
+//! consumer: the concurrency rules want every lock a callee *might* take,
+//! the panic-path rules want every panic a fallible entry point *might*
+//! reach, and the hot-path rules want every function a hot root *might*
+//! drive per iteration. Calls into `std` or vendored dependencies resolve
+//! to nothing and are ignored.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -44,6 +45,7 @@ impl<'m> CallGraph<'m> {
         }
         let mut edges: Vec<Vec<(usize, usize)>> = Vec::with_capacity(model.functions.len());
         for f in &model.functions {
+            // lint: allow(hot-alloc) — graph built once per check run; `build` collides with hot plan builders
             let mut out: BTreeMap<usize, usize> = BTreeMap::new();
             for call in &f.calls {
                 if let Some(targets) = by_name.get(call.name.as_str()) {
@@ -52,6 +54,7 @@ impl<'m> CallGraph<'m> {
                     }
                 }
             }
+            // lint: allow(hot-alloc) — graph built once per check run; `build` collides with hot plan builders
             edges.push(out.into_iter().collect());
         }
         CallGraph {
@@ -184,6 +187,7 @@ mod tests {
         let functions = model::model_file("lib.rs", src);
         SourceModel {
             functions,
+            facts: Vec::new(),
             files: 1,
         }
     }

@@ -452,6 +452,7 @@ mod tests {
         let functions = model::model_file("lib.rs", src);
         let m = SourceModel {
             functions,
+            facts: Vec::new(),
             files: 1,
         };
         let g = CallGraph::build(&m);

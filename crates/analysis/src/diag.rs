@@ -116,6 +116,8 @@ pub struct Report {
     pub traces_audited: usize,
     /// Functions modeled by the concurrency/panic-path analyses.
     pub functions_modeled: usize,
+    /// Functions on the hot serving/search path per the hot-path rules.
+    pub hot_functions: usize,
 }
 
 impl Report {
@@ -129,11 +131,13 @@ impl Report {
             networks_verified: 0,
             traces_audited: 0,
             functions_modeled: 0,
+            hot_functions: 0,
         }
     }
 
     /// Merges another report into this one, keeping canonical order.
     pub fn merge(&mut self, other: Report) {
+        // lint: allow(grow) — bounded by the fixed number of analysis layers
         self.diagnostics.extend(other.diagnostics);
         self.diagnostics
             .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
@@ -142,6 +146,24 @@ impl Report {
         self.networks_verified += other.networks_verified;
         self.traces_audited += other.traces_audited;
         self.functions_modeled += other.functions_modeled;
+        self.hot_functions += other.hot_functions;
+    }
+
+    /// Finding counts per rule family, in [`crate::rules::FAMILIES`]
+    /// order — every registered family appears, zero or not, so CI logs
+    /// and JSON diffs line up run to run.
+    pub fn family_counts(&self) -> Vec<(&'static str, usize)> {
+        crate::rules::FAMILIES
+            .iter()
+            .map(|(prefix, _)| {
+                let n = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.rule.starts_with(prefix))
+                    .count();
+                (*prefix, n)
+            })
+            .collect()
     }
 
     /// The findings, in canonical order.
@@ -178,14 +200,15 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "lint: {} error(s), {} warning(s) over {} plan(s), {} file(s), {} network(s), {} trace(s) and {} function(s)\n",
+            "lint: {} error(s), {} warning(s) over {} plan(s), {} file(s), {} network(s), {} trace(s) and {} function(s) ({} hot)\n",
             self.errors(),
             self.warnings(),
             self.plans_audited,
             self.files_scanned,
             self.networks_verified,
             self.traces_audited,
-            self.functions_modeled
+            self.functions_modeled,
+            self.hot_functions
         ));
         out
     }
@@ -194,15 +217,22 @@ impl Report {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"version\": 1,\n");
+        let families = self
+            .family_counts()
+            .iter()
+            .map(|(prefix, n)| format!("\"{}\": {n}", prefix.to_ascii_lowercase()))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"plans_audited\": {}, \"files_scanned\": {}, \"networks_verified\": {}, \"traces_audited\": {}, \"functions_modeled\": {}}},\n",
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"plans_audited\": {}, \"files_scanned\": {}, \"networks_verified\": {}, \"traces_audited\": {}, \"functions_modeled\": {}, \"hot_functions\": {}, \"families\": {{{families}}}}},\n",
             self.errors(),
             self.warnings(),
             self.plans_audited,
             self.files_scanned,
             self.networks_verified,
             self.traces_audited,
-            self.functions_modeled
+            self.functions_modeled,
+            self.hot_functions
         ));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -314,5 +344,34 @@ mod tests {
     fn empty_report_renders_empty_array() {
         let s = Report::new(vec![]).render_json();
         assert!(s.contains("\"diagnostics\": []"), "{s}");
+    }
+
+    #[test]
+    fn family_counts_cover_every_family_in_order() {
+        let mut warn = d("PF002", "h.rs:3", "fmt");
+        warn.severity = Severity::Warning;
+        let r = Report::new(vec![
+            d("PA001", "a", "y"),
+            d("RB001", "c.rs:7", "grow"),
+            warn,
+        ]);
+        let counts = r.family_counts();
+        let prefixes: Vec<&str> = counts.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            prefixes,
+            ["PA", "SL", "NV", "TA", "CC", "PN", "PF", "RB"],
+            "{counts:?}"
+        );
+        let get = |p: &str| counts.iter().find(|(q, _)| *q == p).map(|(_, n)| *n);
+        assert_eq!(get("PA"), Some(1));
+        assert_eq!(get("PF"), Some(1));
+        assert_eq!(get("RB"), Some(1));
+        assert_eq!(get("SL"), Some(0));
+        let json = r.render_json();
+        assert!(
+            json.contains(r#""families": {"pa": 1, "sl": 0, "nv": 0, "ta": 0, "cc": 0, "pn": 0, "pf": 1, "rb": 1}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""hot_functions": 0"#), "{json}");
     }
 }

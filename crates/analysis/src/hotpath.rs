@@ -1,0 +1,457 @@
+//! The hot-path performance rules (`PF001`–`PF006`).
+//!
+//! The paper's search loop (§V) and the serving arc evaluate millions of
+//! candidate plans through `cost`/`try_cost` and the sweep fan-out; PR 6
+//! made that path allocation-free (`ChainScratch`, `KernelMemo`) and
+//! these rules keep it that way. *Hotness* propagates interprocedurally:
+//! a function is hot if it is named in [`HOT_ROOTS`], calls a parallel
+//! fan-out primitive (its closure body runs once per work item), or is
+//! transitively called by either. Inside a hot function, the per-function
+//! loop-context tracker ([`crate::model::FunctionModel::loop_depth`])
+//! decides whether a site executes per iteration.
+//!
+//! - `PF001` — heap allocation (`Vec::new`, `vec![…]`, `Box::new`,
+//!   `collect`, `with_capacity`, …) inside a hot loop body (marker:
+//!   `lint: allow(hot-alloc)`).
+//! - `PF002` — per-iteration string formatting (`format!`, `to_string`,
+//!   `String::from`) inside a hot loop body (marker:
+//!   `lint: allow(hot-format)`).
+//! - `PF003` — `clone()` of a modeled (non-`Arc`-handle) value inside a
+//!   hot loop body (marker: `lint: allow(hot-clone)`).
+//! - `PF004` — `push`/`insert` growth inside a hot loop into a local
+//!   collection bound without `with_capacity` and never `reserve`d
+//!   (marker: `lint: allow(reserve)`).
+//! - `PF005` — a lock acquisition inside a hot loop body: the guard is
+//!   re-taken every iteration when it could usually be hoisted (marker:
+//!   `lint: allow(hot-lock)`).
+//! - `PF006` — a hot loop calling an unmemoized engine entry point
+//!   (`run_chain`, `run_chain_with`, `simulate_chain`) instead of going
+//!   through the `LatencyCache`/`KernelMemo` layers (marker:
+//!   `lint: allow(hot-engine)`).
+//!
+//! Every diagnostic carries the shortest hot-root→site call chain, like
+//! the PN rules, so the reader can see *why* the function is hot. The
+//! `lint: allow(hot-root)` marker on a fan-out call site exempts that
+//! site from seeding hotness — for build-time analyzer drivers that fan
+//! out over files, not serving traffic. Reachability shares the
+//! [`crate::callgraph`] over-approximation documented in `DESIGN.md`
+//! §12–§13.
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::model::{AllocKind, FunctionModel, MutKind};
+use crate::rules;
+
+/// Bare names of the serving/search hot roots.
+pub const HOT_ROOTS: &[&str] = &[
+    "cost",
+    "try_cost",
+    "kernel_cost",
+    "cost_batch",
+    "run_chain",
+    "run_chain_with",
+    "measure_batch",
+];
+
+/// Parallel fan-out primitives: a function calling one of these runs its
+/// closure body once per work item, so the caller is hot unless the call
+/// site carries `lint: allow(hot-root)`.
+pub const FANOUT_CALLS: &[&str] = &["ordered_parallel_map", "contained_parallel_map"];
+
+/// Engine entry points a hot loop must not call directly (`PF006`) — the
+/// memoized layers (`LatencyCache`, `KernelMemo`) exist so repeated
+/// costing assembles instead of re-simulating.
+pub const ENGINE_ENTRY_POINTS: &[&str] = &["run_chain", "run_chain_with", "simulate_chain"];
+
+/// Runs the PF rules over the call graph's model.
+///
+/// Returns the diagnostics plus the number of hot functions (for the
+/// report's `hot_functions` coverage counter).
+pub fn check(graph: &CallGraph<'_>) -> (Vec<Diagnostic>, usize) {
+    let model = graph.model();
+    let mut roots: Vec<usize> = Vec::new();
+    for name in HOT_ROOTS {
+        roots.extend_from_slice(graph.functions_named(name));
+    }
+    for (i, f) in model.functions.iter().enumerate() {
+        let seeds_hotness = f
+            .calls
+            .iter()
+            .any(|c| FANOUT_CALLS.contains(&c.name.as_str()) && !f.allows(c.line, "hot-root"));
+        if seeds_hotness {
+            roots.push(i);
+        }
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    let (reached, parent, root_of) = graph.reach_from(&roots);
+    let hot_functions = reached.iter().filter(|r| **r).count();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (i, f) in model.functions.iter().enumerate() {
+        if !reached[i] {
+            continue;
+        }
+        let root_name = root_of[i]
+            .map(|r| model.functions[r].name.as_str())
+            .unwrap_or("?");
+        let chain = graph.chain_to(&parent, i, 6);
+        let via = format!("hot from `{root_name}` via {chain}");
+
+        for a in &f.allocs {
+            if f.loop_depth(a.line) == 0 {
+                continue;
+            }
+            let (rule, marker, what) = match a.kind {
+                AllocKind::Alloc => (rules::PF001, "hot-alloc", "allocates"),
+                AllocKind::Format => (rules::PF002, "hot-format", "formats a string"),
+                AllocKind::Clone => (rules::PF003, "hot-clone", "clones"),
+            };
+            if f.allows(a.line, marker) {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    rule,
+                    severity(rule),
+                    format!("{}:{}", f.file, a.line),
+                    format!("`{}` {what} every iteration of a hot loop; {via}", a.token),
+                )
+                .with_hint(format!(
+                    "hoist it out of the loop (reusable scratch, pre-sized buffer) \
+                     or mark `// lint: allow({marker}) — <why it is cheap here>`"
+                )),
+            );
+        }
+
+        diags.extend(check_pf004(f, &via));
+
+        for l in &f.locks {
+            if f.loop_depth(l.line) == 0 || f.allows(l.line, "hot-lock") {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    rules::PF005,
+                    severity(rules::PF005),
+                    format!("{}:{}", f.file, l.line),
+                    format!(
+                        "`{}` is re-acquired every iteration of a hot loop; {via}",
+                        l.path
+                    ),
+                )
+                .with_hint(
+                    "hoist the guard above the loop, or mark \
+                     `// lint: allow(hot-lock) — <why per-iteration locking is required>`",
+                ),
+            );
+        }
+
+        for c in &f.calls {
+            if !ENGINE_ENTRY_POINTS.contains(&c.name.as_str())
+                || f.loop_depth(c.line) == 0
+                || f.allows(c.line, "hot-engine")
+            {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    rules::PF006,
+                    severity(rules::PF006),
+                    format!("{}:{}", f.file, c.line),
+                    format!(
+                        "hot loop calls unmemoized engine entry point `{}`; {via}",
+                        c.name
+                    ),
+                )
+                .with_hint(
+                    "route repeated costing through the LatencyCache/KernelMemo \
+                     layers, or mark `// lint: allow(hot-engine) — <why>`",
+                ),
+            );
+        }
+    }
+    (diags, hot_functions)
+}
+
+/// `PF004`: growth inside a hot loop into a local collection bound without
+/// `with_capacity` and never `reserve`d anywhere in the function.
+fn check_pf004(f: &FunctionModel, via: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for m in &f.mutations {
+        if m.kind != MutKind::Grow
+            || m.self_prefixed
+            || f.loop_depth(m.line) == 0
+            || f.allows(m.line, "reserve")
+        {
+            continue;
+        }
+        // Only flag growth into a binding whose initializer we saw: that
+        // is the case where the caller demonstrably *could* pre-size.
+        let Some(bind) = f
+            .coll_bindings
+            .iter()
+            .rfind(|b| b.name == m.path && b.line <= m.line)
+        else {
+            continue;
+        };
+        if bind.with_capacity {
+            continue;
+        }
+        let reserved = f
+            .mutations
+            .iter()
+            .any(|r| r.kind == MutKind::Reserve && r.path == m.path);
+        if reserved {
+            continue;
+        }
+        diags.push(
+            Diagnostic::new(
+                rules::PF004,
+                severity(rules::PF004),
+                format!("{}:{}", f.file, m.line),
+                format!(
+                    "`{}.{}(…)` grows an unreserved local collection inside a hot loop; {via}",
+                    m.path, m.method
+                ),
+            )
+            .with_hint(format!(
+                "bind `{}` with `with_capacity(…)` or `reserve` before the loop, \
+                 or mark `// lint: allow(reserve) — <why the bound is unknowable>`",
+                m.path
+            )),
+        );
+    }
+    diags
+}
+
+/// Catalog severity for a rule id (errors if the catalog is missing it,
+/// which the rules tests make impossible).
+fn severity(rule: &str) -> crate::Severity {
+    rules::rule_info(rule).map_or(crate::Severity::Error, |r| r.severity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{self, SourceModel};
+
+    fn diags_for(src: &str) -> Vec<Diagnostic> {
+        let functions = model::model_file("lib.rs", src);
+        let m = SourceModel {
+            functions,
+            facts: Vec::new(),
+            files: 1,
+        };
+        let g = CallGraph::build(&m);
+        check(&g).0
+    }
+
+    #[test]
+    fn cold_functions_are_ignored() {
+        let src = "\
+fn build_report(rows: &[u32]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in rows {
+        out.push(format!(\"{r}\"));
+    }
+    out
+}
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+
+    #[test]
+    fn pf001_pf002_flag_hot_loop_allocs_with_chains() {
+        let src = "\
+fn cost(rows: &[u32]) -> u32 {
+    helper(rows)
+}
+fn helper(rows: &[u32]) -> u32 {
+    let mut total = 0;
+    for r in rows {
+        let scratch = Vec::with_capacity(4);
+        let label = format!(\"{r}\");
+        total += label.len() as u32 + scratch.capacity() as u32;
+    }
+    total
+}
+";
+        let diags = diags_for(src);
+        let rules_found: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules_found.contains(&rules::PF001), "{diags:?}");
+        assert!(rules_found.contains(&rules::PF002), "{diags:?}");
+        assert!(
+            diags.iter().all(|d| d.message.contains("cost → helper")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn allocations_outside_loops_stay_clean_on_hot_paths() {
+        let src = "\
+fn cost(rows: &[u32]) -> u32 {
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        out.push(*r);
+    }
+    out.len() as u32
+}
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+
+    #[test]
+    fn pf003_flags_clone_but_not_arc_handles() {
+        let src = "\
+fn cost(plans: &[Plan], shared: Arc<Mutex<u32>>) -> usize {
+    let mut n = 0;
+    for p in plans {
+        let copy = p.clone();
+        let handle = shared.clone();
+        n += use_both(copy, handle);
+    }
+    n
+}
+";
+        let diags = diags_for(src);
+        let pf3: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == rules::PF003).collect();
+        assert_eq!(pf3.len(), 1, "{diags:?}");
+        assert!(pf3[0].message.contains("p.clone()"), "{pf3:?}");
+    }
+
+    #[test]
+    fn pf004_flags_unreserved_growth_and_respects_capacity() {
+        let bad = "\
+fn cost(rows: &[u32]) -> usize {
+    let mut out = Vec::new();
+    for r in rows {
+        out.push(*r);
+    }
+    out.len()
+}
+";
+        let diags = diags_for(bad);
+        assert!(diags.iter().any(|d| d.rule == rules::PF004), "{diags:?}");
+
+        let reserved = "\
+fn cost(rows: &[u32]) -> usize {
+    let mut out = Vec::new();
+    out.reserve(rows.len());
+    for r in rows {
+        out.push(*r);
+    }
+    out.len()
+}
+";
+        let diags = diags_for(reserved);
+        assert!(!diags.iter().any(|d| d.rule == rules::PF004), "{diags:?}");
+    }
+
+    #[test]
+    fn pf005_flags_lock_in_hot_loop() {
+        let src = "\
+fn cost(&self, rows: &[u32]) -> u32 {
+    let mut total = 0;
+    for r in rows {
+        let g = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        total += *g + r;
+    }
+    total
+}
+";
+        let diags = diags_for(src);
+        assert!(diags.iter().any(|d| d.rule == rules::PF005), "{diags:?}");
+    }
+
+    #[test]
+    fn pf006_flags_engine_calls_in_hot_loops() {
+        let src = "\
+fn measure_batch(chains: &[Chain]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(chains.len());
+    for c in chains {
+        out.push(run_chain(c));
+    }
+    out
+}
+fn run_chain(c: &Chain) -> u64 {
+    c.len() as u64
+}
+";
+        let diags = diags_for(src);
+        assert!(diags.iter().any(|d| d.rule == rules::PF006), "{diags:?}");
+    }
+
+    #[test]
+    fn fanout_callers_are_hot_unless_marked() {
+        let hot = "\
+fn drive(items: &[u32]) -> Vec<u32> {
+    ordered_parallel_map(items, 4, |x| step(*x))
+}
+fn step(x: u32) -> u32 {
+    let mut v = Vec::new();
+    for i in 0..x {
+        v.push(i);
+    }
+    v.len() as u32
+}
+";
+        assert!(
+            diags_for(hot).iter().any(|d| d.rule == rules::PF004),
+            "{:?}",
+            diags_for(hot)
+        );
+
+        let marked = "\
+fn drive(items: &[u32]) -> Vec<u32> {
+    // lint: allow(hot-root) — build-time driver, not a serving path
+    ordered_parallel_map(items, 4, |x| step(*x))
+}
+fn step(x: u32) -> u32 {
+    let mut v = Vec::new();
+    for i in 0..x {
+        v.push(i);
+    }
+    v.len() as u32
+}
+";
+        assert!(diags_for(marked).is_empty(), "{:?}", diags_for(marked));
+    }
+
+    #[test]
+    fn markers_suppress_hot_findings() {
+        let src = "\
+fn cost(rows: &[u32]) -> u32 {
+    let mut total = 0;
+    for r in rows {
+        // lint: allow(hot-format) — seeded justification
+        let label = format!(\"{r}\");
+        total += label.len() as u32;
+    }
+    total
+}
+";
+        assert!(diags_for(src).is_empty(), "{:?}", diags_for(src));
+    }
+
+    #[test]
+    fn hot_function_count_is_reported() {
+        let src = "\
+fn cost(v: &[u32]) -> u32 {
+    helper(v)
+}
+fn helper(v: &[u32]) -> u32 {
+    v.len() as u32
+}
+fn cold() {}
+";
+        let functions = model::model_file("lib.rs", src);
+        let m = SourceModel {
+            functions,
+            facts: Vec::new(),
+            files: 1,
+        };
+        let g = CallGraph::build(&m);
+        assert_eq!(check(&g).1, 2);
+    }
+}

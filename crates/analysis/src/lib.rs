@@ -29,6 +29,14 @@
 //!   `try_measure`, `try_run`, `latency_curve_partial`, `with_retry`) to
 //!   every panic source — unwrap/expect, panicking macros, indexing and
 //!   div-by-len (rules `PN001`–`PN003`).
+//! - **Hot-path performance** ([`hotpath`]): hotness propagated from the
+//!   serving/search roots (`cost`, `try_cost`, `run_chain_with`, the
+//!   fan-out closures, …) through the call graph, flagging per-iteration
+//!   allocation, formatting, cloning, unreserved growth, lock churn and
+//!   unmemoized engine calls inside hot loops (rules `PF001`–`PF006`).
+//! - **Resource bounds** ([`resource`]): grow-only struct fields,
+//!   unbounded channels, cache structs without a capacity policy, and
+//!   unbounded recursion on the fallible surface (rules `RB001`–`RB004`).
 //!
 //! All layers report through the shared [`Diagnostic`]/[`Report`] core in
 //! [`diag`], which renders human or JSON output in a canonical order so
@@ -44,10 +52,12 @@
 pub mod callgraph;
 pub mod concurrency;
 pub mod diag;
+pub mod hotpath;
 pub mod model;
 pub mod network_verify;
 pub mod panic_path;
 pub mod plan_audit;
+pub mod resource;
 pub mod rules;
 pub mod source_lint;
 pub mod trace_audit;
@@ -84,8 +94,9 @@ pub fn run_audit(jobs: usize) -> Report {
     report
 }
 
-/// Runs the concurrency-discipline and panic-path analyses over the
-/// source tree at `root` and merges them into one report.
+/// Runs the concurrency-discipline, panic-path, hot-path performance and
+/// resource-bound analyses over the source tree at `root` and merges them
+/// into one report.
 ///
 /// Per-file model building fans out over `jobs` workers with
 /// input-ordered reduction; the graph analyses are sequential over the
@@ -99,8 +110,12 @@ pub fn run_check(root: &Path, jobs: usize) -> io::Result<Report> {
     let graph = callgraph::CallGraph::build(&source_model);
     let mut diags = concurrency::check(&graph);
     diags.extend(panic_path::check(&graph));
+    let (pf_diags, hot_functions) = hotpath::check(&graph);
+    diags.extend(pf_diags);
+    diags.extend(resource::check(&graph));
     let mut report = Report::new(diags);
     report.files_scanned = source_model.files;
     report.functions_modeled = source_model.functions.len();
+    report.hot_functions = hot_functions;
     Ok(report)
 }

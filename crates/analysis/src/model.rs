@@ -18,9 +18,17 @@
 //! - **panic sites** — `unwrap`/`expect`, the panicking macro family,
 //!   slice/array indexing and division by a `.len()`/`.count()` divisor;
 //! - **spawn sites and `Arc<Mutex<_>>` clones** — the raw material for
-//!   the cross-thread sharing rule.
+//!   the cross-thread sharing rule;
+//! - **loop spans** — `for`/`while`/`loop` body extents recovered by the
+//!   same brace tracking, so the hot-path rules (`PF…`) know which sites
+//!   execute per iteration;
+//! - **allocation/formatting sites** — heap constructors, `collect`,
+//!   `format!`/`to_string` and `clone()` calls, for the hot-loop rules;
+//! - **collection mutations** — grow (`push`/`insert`/`extend`…) and
+//!   shrink (`pop`/`remove`/`clear`…) calls with normalized receiver
+//!   paths, feeding the resource-bound rules (`RB…`).
 //!
-//! Known over-approximations are documented in `DESIGN.md` §12: calls
+//! Known over-approximations are documented in `DESIGN.md` §12–§13: calls
 //! resolve by bare name (all same-named functions are deemed callees),
 //! lock identity is `(file, path)` so a lock reached through a local
 //! alias becomes a distinct node, and guard scopes extend to the end of
@@ -106,6 +114,11 @@ pub struct CallSite {
     /// `table.clear()` on a `MutexGuard<HashMap<…>>`), which can never
     /// reach a workspace lock.
     pub recv: Option<String>,
+    /// The call is written as a bare `name(…)` — not `recv.name(…)` and
+    /// not a `Path::name(…)` qualified call. Only a bare call (or a
+    /// `self.name(…)` method call) can be direct self-recursion; a
+    /// `Vec::new()` inside `fn new` cannot (`RB004`).
+    pub bare: bool,
 }
 
 /// What kind of panic a panic site can raise.
@@ -137,6 +150,82 @@ pub struct PanicSite {
     pub token: String,
 }
 
+/// One `for`/`while`/`loop` body inside a function, with a conservative
+/// extent: the span runs from the loop keyword's line to the last line of
+/// the body, inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSpan {
+    /// 1-based line of the loop keyword (the header line).
+    pub start_line: usize,
+    /// 1-based last line of the loop body, inclusive.
+    pub end_line: usize,
+}
+
+/// What an allocation-ish site does per execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// A heap-allocating constructor or collector (`Vec::new`, `vec![…]`,
+    /// `Box::new`, `with_capacity`, `.collect()`, `.to_vec()`,
+    /// `.to_owned()`, …).
+    Alloc,
+    /// String formatting (`format!`, `.to_string()`, `String::from`).
+    Format,
+    /// `.clone()` on a receiver that is not a tracked `Arc` handle.
+    Clone,
+}
+
+/// One allocation/formatting/clone site inside a function body.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// What the site does per execution.
+    pub kind: AllocKind,
+    /// 1-based line of the site.
+    pub line: usize,
+    /// The matched token, for the diagnostic message.
+    pub token: String,
+}
+
+/// Whether a collection mutation grows, shrinks or pre-sizes its receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutKind {
+    /// `push`, `insert`, `extend`, … — the receiver gets bigger.
+    Grow,
+    /// `pop`, `remove`, `clear`, `truncate`, … — the receiver can shrink.
+    Shrink,
+    /// `reserve`/`reserve_exact` — capacity evidence for the hot-path
+    /// push-without-reserve rule.
+    Reserve,
+}
+
+/// One collection mutation (`recv.push(…)`, `recv.clear()`, …).
+#[derive(Debug, Clone)]
+pub struct MutSite {
+    /// Normalized receiver path (lock-path rules: `self.`-stripped,
+    /// `(…)` → `()`, `[i]` → `[_]`).
+    pub path: String,
+    /// The receiver was written with a `self.` prefix — a struct field,
+    /// i.e. state that outlives the call.
+    pub self_prefixed: bool,
+    /// Grow, shrink or reserve.
+    pub kind: MutKind,
+    /// The method name (`push`, `insert`, `clear`, …).
+    pub method: String,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// A local binding initialized from a growable-collection constructor
+/// (`let mut out = Vec::new();`, `let s = String::with_capacity(n);`).
+#[derive(Debug, Clone)]
+pub struct CollBinding {
+    /// The bound name.
+    pub name: String,
+    /// 1-based line of the binding.
+    pub line: usize,
+    /// The initializer pre-sizes the collection (`with_capacity`).
+    pub with_capacity: bool,
+}
+
 /// The per-function model the analyses consume.
 #[derive(Debug, Clone)]
 pub struct FunctionModel {
@@ -160,6 +249,17 @@ pub struct FunctionModel {
     pub arc_mutex_clone_lines: Vec<usize>,
     /// The raw body carries a `// lock-order:` doc marker.
     pub has_lock_order_doc: bool,
+    /// Every `for`/`while`/`loop` body span, in source order.
+    pub loops: Vec<LoopSpan>,
+    /// Every allocation/formatting/clone site, in source order.
+    pub allocs: Vec<AllocSite>,
+    /// Every collection grow/shrink/reserve call, in source order.
+    pub mutations: Vec<MutSite>,
+    /// Local bindings initialized from collection constructors.
+    pub coll_bindings: Vec<CollBinding>,
+    /// The body mentions a depth/fuel/budget-style identifier — weak
+    /// evidence that a recursion is bounded (`RB004`).
+    pub has_depth_bound_token: bool,
     /// `(line, key)` pairs for `// lint: allow(key)` markers inside the
     /// body, for the concurrency-rule keys (see [`CC_MARKER_KEYS`]).
     pub allow_marks: Vec<(usize, String)>,
@@ -176,6 +276,24 @@ pub const CC_MARKER_KEYS: &[&str] = &[
     "discard-guard",
 ];
 
+/// The suppression-marker keys the hot-path performance rules honor,
+/// plus `hot-root`, which exempts a fan-out call site from seeding
+/// hotness (build-time analyzer paths, not serving paths).
+pub const PF_MARKER_KEYS: &[&str] = &[
+    "hot-alloc",
+    "hot-format",
+    "hot-clone",
+    "reserve",
+    "hot-lock",
+    "hot-engine",
+    "hot-root",
+];
+
+/// The suppression-marker keys the resource-bound rules honor.
+/// `cache-bound` is honored at extraction time (a marked cache struct
+/// never reaches the model); the rest travel with the model.
+pub const RB_MARKER_KEYS: &[&str] = &["grow", "unbounded-channel", "recursion-bound"];
+
 impl FunctionModel {
     /// A `lint: allow(key)` marker on `line` or the line above?
     pub fn allows(&self, line: usize, key: &str) -> bool {
@@ -183,6 +301,34 @@ impl FunctionModel {
             .iter()
             .any(|(l, k)| k == key && (*l == line || *l + 1 == line))
     }
+
+    /// How many of this function's loop bodies contain the 1-based line.
+    ///
+    /// The header line itself is excluded: a `for` header's iterator
+    /// expression evaluates once, so sites there do not execute per
+    /// iteration. (A `while` condition does re-evaluate, but counting it
+    /// would claim loop context for sites that may not have it — the
+    /// tracker only ever under-approximates nesting, never invents it.)
+    pub fn loop_depth(&self, line: usize) -> usize {
+        self.loops
+            .iter()
+            .filter(|l| l.start_line < line && line <= l.end_line)
+            .count()
+    }
+}
+
+/// Per-file facts that live outside any function body.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Workspace-relative `/`-separated file path.
+    pub file: String,
+    /// `(line, name)` for every declared struct whose name contains
+    /// `Cache` or `Memo` and carries no `lint: allow(cache-bound)`
+    /// marker — the candidates for the capacity-policy rule (`RB003`).
+    pub cache_structs: Vec<(usize, String)>,
+    /// The file mentions an explicit capacity policy
+    /// (`max_entries`, `max_capacity`, `capacity_limit`, `evict`).
+    pub has_capacity_tokens: bool,
 }
 
 /// The whole-workspace model: every first-party function, in file-then-
@@ -191,6 +337,8 @@ impl FunctionModel {
 pub struct SourceModel {
     /// Every modeled function.
     pub functions: Vec<FunctionModel>,
+    /// Per-file facts, in file order.
+    pub facts: Vec<FileFacts>,
     /// Files scanned.
     pub files: usize,
 }
@@ -212,12 +360,21 @@ pub struct SourceModel {
 /// Returns any I/O error from walking or reading the tree.
 pub fn build_model(root: &Path, jobs: usize) -> io::Result<SourceModel> {
     let inputs = read_sources(root)?;
-    let per_file =
-        sweep::ordered_parallel_map(&inputs, jobs, |(rel, content)| model_file(rel, content));
-    let mut functions: Vec<FunctionModel> = per_file.into_iter().flatten().collect();
+    // lint: allow(hot-root) — build-time analyzer path, not a serving path
+    let per_file = sweep::ordered_parallel_map(&inputs, jobs, |(rel, content)| {
+        (model_file(rel, content), file_facts(rel, content))
+    });
+    let mut functions: Vec<FunctionModel> = Vec::new();
+    let mut facts: Vec<FileFacts> = Vec::with_capacity(inputs.len());
+    for (fns, fact) in per_file {
+        functions.extend(fns);
+        facts.push(fact);
+    }
     functions.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    facts.sort_by(|a, b| a.file.cmp(&b.file));
     Ok(SourceModel {
         functions,
+        facts,
         files: inputs.len(),
     })
 }
@@ -462,7 +619,10 @@ fn arc_mutex_names(code_lines: &[&str]) -> Vec<String> {
 }
 
 /// Builds the per-function models for one file.
-pub(crate) fn model_file(rel: &str, raw: &str) -> Vec<FunctionModel> {
+///
+/// Public so integration tests (the loop-context property tests) can
+/// model synthesized sources without touching the filesystem.
+pub fn model_file(rel: &str, raw: &str) -> Vec<FunctionModel> {
     let stripped = crate::source_lint::strip_code(raw);
     let raw_lines: Vec<&str> = raw.lines().collect();
     let code_lines: Vec<&str> = stripped.lines().collect();
@@ -478,6 +638,10 @@ pub(crate) fn model_file(rel: &str, raw: &str) -> Vec<FunctionModel> {
     let depths = line_start_depths(&stripped);
     let has_rwlock = stripped.contains("RwLock");
     let arc_names = arc_mutex_names(&code_lines);
+    let arc_clone_pats: Vec<(String, String)> = arc_names
+        .iter()
+        .map(|name| (format!("{name}.clone()"), format!("Arc::clone(&{name})")))
+        .collect();
 
     let mut models: Vec<FunctionModel> = spans
         .iter()
@@ -492,9 +656,26 @@ pub(crate) fn model_file(rel: &str, raw: &str) -> Vec<FunctionModel> {
             spawn_lines: Vec::new(),
             arc_mutex_clone_lines: Vec::new(),
             has_lock_order_doc: false,
+            loops: Vec::new(),
+            allocs: Vec::new(),
+            mutations: Vec::new(),
+            coll_bindings: Vec::new(),
+            has_depth_bound_token: false,
             allow_marks: Vec::new(),
         })
         .collect();
+
+    // Loop bodies attribute to their innermost owning function, so
+    // `loop_depth` never counts a loop from an enclosing function around
+    // a nested `fn` (the nested body does not run per iteration).
+    for l in loop_spans(&stripped) {
+        if l.start_line > test_start {
+            continue;
+        }
+        if let Some(owner) = innermost_owner(&spans, l.start_line) {
+            models[owner].loops.push(l);
+        }
+    }
 
     for (i, line) in code_lines.iter().enumerate().take(test_start) {
         let lineno = i + 1;
@@ -507,7 +688,11 @@ pub(crate) fn model_file(rel: &str, raw: &str) -> Vec<FunctionModel> {
         if raw_lines[i].contains("// lock-order:") {
             m.has_lock_order_doc = true;
         }
-        for key in CC_MARKER_KEYS {
+        for key in CC_MARKER_KEYS
+            .iter()
+            .chain(PF_MARKER_KEYS)
+            .chain(RB_MARKER_KEYS)
+        {
             if marker_allows(raw_lines[i], key) {
                 m.allow_marks.push((lineno, (*key).to_string()));
             }
@@ -522,6 +707,12 @@ pub(crate) fn model_file(rel: &str, raw: &str) -> Vec<FunctionModel> {
             &mut m.locks,
         );
         extract_panics(&raw_lines, line, i, &mut m.panics);
+        extract_allocs(line, lineno, &arc_names, &mut m.allocs);
+        extract_mutations(line, lineno, &mut m.mutations);
+        extract_coll_binding(line, lineno, &mut m.coll_bindings);
+        if !m.has_depth_bound_token && has_depth_bound_token(line) {
+            m.has_depth_bound_token = true;
+        }
         for (col, _) in line.match_indices("spawn") {
             let before = line[..col].chars().next_back();
             let after = line[col + "spawn".len()..].trim_start().chars().next();
@@ -530,15 +721,59 @@ pub(crate) fn model_file(rel: &str, raw: &str) -> Vec<FunctionModel> {
                 m.spawn_lines.push(lineno);
             }
         }
-        for name in &arc_names {
-            if line.contains(&format!("{name}.clone()"))
-                || line.contains(&format!("Arc::clone(&{name})"))
-            {
+        for (clone_pat, arc_clone_pat) in &arc_clone_pats {
+            if line.contains(clone_pat) || line.contains(arc_clone_pat) {
                 m.arc_mutex_clone_lines.push(lineno);
             }
         }
     }
     models
+}
+
+/// Extracts the per-file facts that live outside function bodies.
+pub(crate) fn file_facts(rel: &str, raw: &str) -> FileFacts {
+    let stripped = crate::source_lint::strip_code(raw);
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let test_start = raw_lines
+        .iter()
+        .position(|l| l.trim_end() == "#[cfg(test)]" && !l.starts_with(char::is_whitespace))
+        .unwrap_or(raw_lines.len());
+    let mut facts = FileFacts {
+        file: rel.to_string(),
+        ..FileFacts::default()
+    };
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    for (i, line) in stripped.lines().enumerate().take(test_start) {
+        for tok in ["max_entries", "max_capacity", "capacity_limit", "evict"] {
+            for (idx, _) in line.match_indices(tok) {
+                let before = if idx == 0 {
+                    None
+                } else {
+                    line[..idx].chars().next_back()
+                };
+                let after = line[idx + tok.len()..].chars().next();
+                if before.is_none_or(|c| !ident(c)) && after.is_none_or(|c| !ident(c)) {
+                    facts.has_capacity_tokens = true;
+                }
+            }
+        }
+        for (idx, _) in line.match_indices("struct ") {
+            let before = line[..idx].chars().next_back();
+            if before.is_some_and(ident) {
+                continue;
+            }
+            let name: String = line[idx + "struct ".len()..]
+                .chars()
+                .take_while(|c| ident(*c))
+                .collect();
+            if (name.contains("Cache") || name.contains("Memo"))
+                && !allowed(&raw_lines, i, "cache-bound")
+            {
+                facts.cache_structs.push((i + 1, name));
+            }
+        }
+    }
+    facts
 }
 
 /// Rust keywords and declaration heads that look like calls but are not.
@@ -608,6 +843,7 @@ fn extract_calls(line: &str, lineno: usize, out: &mut Vec<CallSite>) {
             line: lineno,
             col: start,
             recv,
+            bare: prev != Some('.') && prev != Some(':'),
         });
     }
 }
@@ -681,6 +917,12 @@ fn extract_locks(
 /// identifier segments joined by `.`, argument lists collapsed to `()`,
 /// index expressions to `[_]`, with any `self.` prefix stripped.
 fn lock_path(line: &str, dot_col: usize) -> String {
+    receiver_path(line, dot_col).0
+}
+
+/// [`lock_path`], but also reports whether the receiver was written with
+/// a `self.` prefix (a struct field — state that outlives the call).
+fn receiver_path(line: &str, dot_col: usize) -> (String, bool) {
     let b: Vec<char> = line.chars().collect();
     let ident = |c: char| c.is_alphanumeric() || c == '_';
     let mut parts: Vec<String> = Vec::new();
@@ -736,10 +978,12 @@ fn lock_path(line: &str, dot_col: usize) -> String {
     }
     parts.reverse();
     let mut path = parts.join(".");
+    let mut self_prefixed = false;
     if let Some(rest) = path.strip_prefix("self.") {
         path = rest.to_string();
+        self_prefixed = true;
     }
-    path
+    (path, self_prefixed)
 }
 
 /// Resolves how the guard produced at `col` on `line` is bound.
@@ -932,6 +1176,307 @@ fn extract_panics(raw_lines: &[&str], line: &str, i: usize, out: &mut Vec<PanicS
             }
         }
     }
+}
+
+/// Finds every `for`/`while`/`loop` body span in a stripped file.
+///
+/// Token-level, conservative: a `for` only opens a loop if a word-bounded
+/// `in` appears at paren depth 0 before the body `{` (so `impl X for Y {`
+/// and `for<'a>` higher-ranked bounds never count); a `;` cancels a
+/// pending header; braces inside header parentheses (closures in the
+/// iterator expression) never open a body. Spans run from the header line
+/// to the line of the closing `}`, inclusive.
+fn loop_spans(stripped: &str) -> Vec<LoopSpan> {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut out = Vec::new();
+    // Open loop bodies: (header line, body brace depth).
+    let mut open: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    // Pending header: Some((is_for, body_armed)) — `while`/`loop` arm
+    // immediately; `for` arms only once its `in` keyword is seen.
+    let mut pending: Option<(bool, bool)> = None;
+    let mut pend_parens = 0usize;
+    let mut last_line = 0usize;
+    for (li, line) in stripped.lines().enumerate() {
+        let lineno = li + 1;
+        last_line = lineno;
+        let b: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            if ident(c) {
+                let s = i;
+                while i < b.len() && ident(b[i]) {
+                    i += 1;
+                }
+                let word: String = b[s..i].iter().collect();
+                match word.as_str() {
+                    "for" => {
+                        pending = Some((true, false));
+                        pend_parens = 0;
+                    }
+                    "while" | "loop" => {
+                        pending = Some((false, true));
+                        pend_parens = 0;
+                    }
+                    "in" if pending == Some((true, false)) && pend_parens == 0 => {
+                        pending = Some((true, true));
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '(' | '[' if pending.is_some() => {
+                    pend_parens += 1;
+                }
+                ')' | ']' if pending.is_some() => {
+                    pend_parens = pend_parens.saturating_sub(1);
+                }
+                ';' => pending = None,
+                '{' => {
+                    depth += 1;
+                    if pend_parens == 0 {
+                        if let Some((_, armed)) = pending.take() {
+                            if armed {
+                                open.push((lineno, depth));
+                            }
+                        }
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while let Some(&(start, d)) = open.last() {
+                        if depth >= d {
+                            break;
+                        }
+                        open.pop();
+                        out.push(LoopSpan {
+                            start_line: start,
+                            end_line: lineno,
+                        });
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Truncated input: close anything still open at EOF.
+    while let Some((start, _)) = open.pop() {
+        out.push(LoopSpan {
+            start_line: start,
+            end_line: last_line,
+        });
+    }
+    out.sort_by_key(|l| (l.start_line, l.end_line));
+    out
+}
+
+/// Heap-allocating constructor/collector patterns (`AllocKind::Alloc`).
+const ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new(",
+    "VecDeque::new(",
+    "HashMap::new(",
+    "HashSet::new(",
+    "BTreeMap::new(",
+    "BTreeSet::new(",
+    "BinaryHeap::new(",
+    "Box::new(",
+    "vec!",
+    "with_capacity(",
+    ".collect()",
+    ".collect::<",
+    ".to_vec()",
+    ".to_owned()",
+];
+
+/// String-formatting patterns (`AllocKind::Format`).
+const FORMAT_PATTERNS: &[&str] = &["format!", ".to_string()", "String::from(", "String::new("];
+
+/// Extracts allocation/formatting/clone sites from one stripped line.
+/// At most one site per kind per line — enough for a diagnostic, without
+/// turning a dense line into a findings storm.
+fn extract_allocs(line: &str, lineno: usize, arc_names: &[String], out: &mut Vec<AllocSite>) {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let word_start = |pat: &str, idx: usize| {
+        !pat.starts_with(ident) || idx == 0 || !line[..idx].chars().next_back().is_some_and(ident)
+    };
+    for (kind, pats) in [
+        (AllocKind::Format, FORMAT_PATTERNS),
+        (AllocKind::Alloc, ALLOC_PATTERNS),
+    ] {
+        if let Some((idx, pat)) = pats
+            .iter()
+            .filter_map(|p| line.find(p).map(|i| (i, *p)))
+            .find(|&(i, p)| word_start(p, i))
+        {
+            let _ = idx;
+            out.push(AllocSite {
+                kind,
+                line: lineno,
+                token: pat.trim_end_matches(['(', '<', '!']).to_string(),
+            });
+        }
+    }
+    for (idx, _) in line.match_indices(".clone()") {
+        let b: Vec<char> = line[..idx].chars().collect();
+        let mut s = b.len();
+        while s > 0 && ident(b[s - 1]) {
+            s -= 1;
+        }
+        let recv: String = b[s..].iter().collect();
+        if arc_names.contains(&recv) {
+            continue; // Arc handle clones are refcount bumps, not copies
+        }
+        out.push(AllocSite {
+            kind: AllocKind::Clone,
+            line: lineno,
+            token: format!("{recv}.clone()"),
+        });
+        break;
+    }
+}
+
+/// Methods that grow a collection receiver.
+const GROW_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "insert",
+    "extend",
+    "append",
+];
+
+/// Methods that can shrink a collection receiver (eviction evidence).
+const SHRINK_METHODS: &[&str] = &[
+    "pop",
+    "pop_front",
+    "pop_back",
+    "remove",
+    "swap_remove",
+    "shift_remove",
+    "clear",
+    "truncate",
+    "drain",
+    "retain",
+    "split_off",
+    "dedup",
+];
+
+/// Capacity pre-sizing methods (`PF004` reserve evidence).
+const RESERVE_METHODS: &[&str] = &["reserve", "reserve_exact"];
+
+/// Extracts collection grow/shrink/reserve calls from one stripped line.
+fn extract_mutations(line: &str, lineno: usize, out: &mut Vec<MutSite>) {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let b: Vec<char> = line.chars().collect();
+    for (dot, _) in line.match_indices('.') {
+        let mut j = dot + 1;
+        while j < b.len() && ident(b[j]) {
+            j += 1;
+        }
+        if j == dot + 1 || b.get(j) != Some(&'(') {
+            continue;
+        }
+        let method: String = b[dot + 1..j].iter().collect();
+        let kind = if GROW_METHODS.contains(&method.as_str()) {
+            MutKind::Grow
+        } else if SHRINK_METHODS.contains(&method.as_str()) {
+            MutKind::Shrink
+        } else if RESERVE_METHODS.contains(&method.as_str()) {
+            MutKind::Reserve
+        } else {
+            continue;
+        };
+        let (path, self_prefixed) = receiver_path(line, dot);
+        if path.is_empty() {
+            continue;
+        }
+        out.push(MutSite {
+            path,
+            self_prefixed,
+            kind,
+            method,
+            line: lineno,
+        });
+    }
+}
+
+/// Collection constructor prefixes that make a `let` binding a tracked
+/// collection binding.
+const COLL_CTORS: &[&str] = &[
+    "Vec::",
+    "VecDeque::",
+    "HashMap::",
+    "HashSet::",
+    "BTreeMap::",
+    "BTreeSet::",
+    "BinaryHeap::",
+    "String::",
+    "vec!",
+];
+
+/// Records `let [mut] name = Vec::…;`-style collection bindings.
+fn extract_coll_binding(line: &str, lineno: usize, out: &mut Vec<CollBinding>) {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let Some(let_idx) = line.find("let ") else {
+        return;
+    };
+    if let_idx > 0 && line[..let_idx].chars().next_back().is_some_and(ident) {
+        return;
+    }
+    let rest = &line[let_idx + 4..];
+    let Some(eq) = rest.find('=') else {
+        return;
+    };
+    let pat = rest[..eq].trim();
+    let pat = pat.strip_prefix("mut ").unwrap_or(pat);
+    let name = pat.split(':').next().unwrap_or(pat).trim();
+    if name.is_empty() || !name.chars().all(ident) {
+        return;
+    }
+    let init = rest[eq + 1..].trim_start();
+    if !COLL_CTORS.iter().any(|c| init.starts_with(c)) {
+        return;
+    }
+    out.push(CollBinding {
+        name: name.to_string(),
+        line: lineno,
+        with_capacity: init.contains("with_capacity"),
+    });
+}
+
+/// Identifier segments that count as recursion-bound evidence (`RB004`):
+/// a `depth`/`fuel`/`budget`-style name anywhere in the body suggests the
+/// recursion carries an explicit bound.
+const DEPTH_TOKENS: &[&str] = &[
+    "depth",
+    "fuel",
+    "remaining",
+    "limit",
+    "hops",
+    "budget",
+    "retries",
+    "attempts",
+    "ttl",
+];
+
+/// Does the stripped line mention a depth-bound-style identifier segment?
+fn has_depth_bound_token(line: &str) -> bool {
+    let mut cur = String::new();
+    for c in line.chars().chain(std::iter::once(' ')) {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            if cur.split('_').any(|seg| DEPTH_TOKENS.contains(&seg)) {
+                return true;
+            }
+            cur.clear();
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -1138,5 +1683,133 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loop_spans_track_nesting_and_skip_impl_for() {
+        let src = "\
+impl Sweep for Grid {
+    fn run(&self) {
+        for x in 0..4 {
+            while x > 0 {
+                work(x);
+            }
+        }
+        loop {
+            break;
+        }
+    }
+}
+";
+        let m = model(src);
+        let f = &m[0];
+        assert_eq!(f.loops.len(), 3, "{:?}", f.loops);
+        // `impl Sweep for Grid {` must not register as a loop.
+        assert_eq!(f.loops[0].start_line, 3);
+        assert_eq!(f.loops[0].end_line, 7);
+        assert_eq!(f.loop_depth(5), 2);
+        assert_eq!(f.loop_depth(3), 0, "header line is outside its own loop");
+        assert_eq!(f.loop_depth(9), 1);
+        assert_eq!(f.loop_depth(11), 0);
+    }
+
+    #[test]
+    fn loop_spans_ignore_hrtb_for_and_header_closures() {
+        let src = "\
+fn apply<F: for<'a> Fn(&'a u32)>(f: F, v: &[u32]) {
+    for x in v.iter().map(|n| { n + 1 }) {
+        f(&x);
+    }
+}
+";
+        let f = &model(src)[0];
+        assert_eq!(f.loops.len(), 1, "{:?}", f.loops);
+        assert_eq!(f.loops[0].start_line, 2);
+        assert_eq!(f.loops[0].end_line, 4);
+    }
+
+    #[test]
+    fn alloc_sites_cover_kinds_and_skip_arc_clones() {
+        let src = "\
+fn f(shared: Arc<Mutex<u32>>, plan: &Plan) {
+    let shared2 = shared.clone();
+    let copy = plan.clone();
+    let mut out = Vec::new();
+    let label = format!(\"{}\", 1);
+    out.push(label);
+    drop(shared2);
+    drop(copy);
+}
+";
+        let f = &model(src)[0];
+        let kinds: Vec<(AllocKind, usize)> = f.allocs.iter().map(|a| (a.kind, a.line)).collect();
+        assert!(kinds.contains(&(AllocKind::Clone, 3)), "{kinds:?}");
+        assert!(
+            !kinds.iter().any(|&(k, l)| k == AllocKind::Clone && l == 2),
+            "arc handle clone must be exempt: {kinds:?}"
+        );
+        assert!(kinds.contains(&(AllocKind::Alloc, 4)), "{kinds:?}");
+        assert!(kinds.contains(&(AllocKind::Format, 5)), "{kinds:?}");
+    }
+
+    #[test]
+    fn mutations_record_receiver_kind_and_self_prefix() {
+        let src = "\
+fn f(&mut self, v: &mut Vec<u32>) {
+    self.jobs.push(1);
+    v.reserve(4);
+    v.push(2);
+    self.jobs.clear();
+}
+";
+        let f = &model(src)[0];
+        let rows: Vec<(&str, bool, MutKind)> = f
+            .mutations
+            .iter()
+            .map(|m| (m.path.as_str(), m.self_prefixed, m.kind))
+            .collect();
+        assert!(rows.contains(&("jobs", true, MutKind::Grow)), "{rows:?}");
+        assert!(rows.contains(&("v", false, MutKind::Reserve)), "{rows:?}");
+        assert!(rows.contains(&("v", false, MutKind::Grow)), "{rows:?}");
+        assert!(rows.contains(&("jobs", true, MutKind::Shrink)), "{rows:?}");
+    }
+
+    #[test]
+    fn coll_bindings_and_depth_tokens_are_recorded() {
+        let src = "\
+fn f(n: usize) {
+    let mut out = Vec::with_capacity(n);
+    let names = Vec::new();
+    out.extend(names);
+}
+fn g(depth_left: u32) { g(depth_left - 1); }
+";
+        let m = model(src);
+        let binds: Vec<(&str, bool)> = m[0]
+            .coll_bindings
+            .iter()
+            .map(|b| (b.name.as_str(), b.with_capacity))
+            .collect();
+        assert_eq!(binds, [("out", true), ("names", false)], "{binds:?}");
+        assert!(!m[0].has_depth_bound_token);
+        assert!(m[1].has_depth_bound_token);
+    }
+
+    #[test]
+    fn file_facts_find_cache_structs_and_capacity_tokens() {
+        let plain = "pub struct LatencyCache {\n    shards: Vec<Shard>,\n}\n";
+        let facts = file_facts("lib.rs", plain);
+        assert_eq!(facts.cache_structs, [(1, "LatencyCache".to_string())]);
+        assert!(!facts.has_capacity_tokens);
+
+        let bounded = "pub struct KernelMemo { max_entries: usize }\n";
+        let facts = file_facts("lib.rs", bounded);
+        assert!(facts.has_capacity_tokens);
+
+        let marked = "\
+// lint: allow(cache-bound) — bounded by construction
+pub struct GridCache { rows: Vec<Row> }
+";
+        assert!(file_facts("lib.rs", marked).cache_structs.is_empty());
     }
 }

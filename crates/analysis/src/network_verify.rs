@@ -630,12 +630,13 @@ pub fn audit_pruning_plan(plan: &PruningPlan, network: &Network) -> Vec<Diagnost
 
 /// `(label, c_out)` for every conv in the assembly, in execution order.
 fn conv_channels(net: &FullNetwork) -> Vec<(String, usize)> {
-    fn collect(ops: &[LayerOp], out: &mut Vec<(String, usize)>) {
+    fn collect_channels(ops: &[LayerOp], out: &mut Vec<(String, usize)>) {
         for op in ops {
             match op {
                 LayerOp::Conv(s) => out.push((s.label().to_string(), s.c_out())),
                 LayerOp::Residual { body, projection } => {
-                    collect(body, out);
+                    // lint: allow(recursion-bound) — residual bodies nest one level by construction (NV003)
+                    collect_channels(body, out);
                     if let Some(p) = projection {
                         out.push((p.label().to_string(), p.c_out()));
                     }
@@ -645,7 +646,7 @@ fn conv_channels(net: &FullNetwork) -> Vec<(String, usize)> {
         }
     }
     let mut out = Vec::new();
-    collect(net.ops(), &mut out);
+    collect_channels(net.ops(), &mut out);
     out
 }
 
@@ -716,6 +717,7 @@ pub fn audit_network_grid(jobs: usize) -> Report {
             cells.push((2, n, d));
         }
     }
+    // lint: allow(hot-root) — build-time verification grid, not a serving path
     let results = sweep::ordered_parallel_map(&cells, jobs, |&(kind, n, d)| match kind {
         0 => {
             let net = &stock_networks()[n];

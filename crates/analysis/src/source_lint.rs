@@ -92,6 +92,7 @@ pub fn lint_sources(root: &Path, jobs: usize) -> io::Result<Report> {
     }
     inputs.sort_by(|a, b| a.0.cmp(&b.0));
 
+    // lint: allow(hot-root) — build-time lint pass over files, not a serving path
     let per_file = sweep::ordered_parallel_map(&inputs, jobs, |(rel, content)| {
         scan_file(rel, content, workspace)
     });

@@ -44,9 +44,12 @@ fn every_catalog_rule_is_documented_with_matching_severity() {
     let doc = catalog_doc();
     let documented = documented_rules(&doc);
     for info in rules::CATALOG {
-        let entry = documented
-            .get(info.id)
-            .unwrap_or_else(|| panic!("{} has no `### {} — …` entry in RULE_CATALOG.md", info.id, info.id));
+        let entry = documented.get(info.id).unwrap_or_else(|| {
+            panic!(
+                "{} has no `### {} — …` entry in RULE_CATALOG.md",
+                info.id, info.id
+            )
+        });
         assert_eq!(
             *entry,
             Some(info.severity),
@@ -72,7 +75,8 @@ fn every_family_has_a_doc_section() {
     let doc = catalog_doc();
     for (prefix, _) in rules::FAMILIES {
         assert!(
-            doc.lines().any(|l| l.starts_with("## ") && l[3..].starts_with(prefix)),
+            doc.lines()
+                .any(|l| l.starts_with("## ") && l[3..].starts_with(prefix)),
             "RULE_CATALOG.md has no `## {prefix} — …` section"
         );
     }

@@ -1,0 +1,15 @@
+//! Seeded PF001 violation: a fresh heap allocation on every iteration of
+//! a loop that is hot because `cost` reaches it.
+
+pub fn cost(rows: &[u32]) -> u32 {
+    accumulate(rows)
+}
+
+fn accumulate(rows: &[u32]) -> u32 {
+    let mut total = 0;
+    for r in rows {
+        let scratch: Vec<u32> = Vec::new();
+        total += r + scratch.capacity() as u32;
+    }
+    total
+}

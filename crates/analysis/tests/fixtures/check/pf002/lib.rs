@@ -1,0 +1,15 @@
+//! Seeded PF002 violation: per-iteration string formatting inside the
+//! hot loop of a `cost` callee.
+
+pub fn cost(rows: &[u32]) -> u32 {
+    label_mass(rows)
+}
+
+fn label_mass(rows: &[u32]) -> u32 {
+    let mut total = 0;
+    for r in rows {
+        let label = format!("row-{r}");
+        total += label.chars().count() as u32;
+    }
+    total
+}

@@ -1,0 +1,19 @@
+//! Seeded PF003 violation: a non-handle value cloned on every iteration
+//! of a hot loop.
+
+pub fn cost(plans: &[Plan]) -> usize {
+    let mut n = 0;
+    for p in plans {
+        let copy = p.clone();
+        n += weigh(copy);
+    }
+    n
+}
+
+fn weigh(p: Plan) -> usize {
+    p.layers
+}
+
+pub struct Plan {
+    pub layers: usize,
+}

@@ -1,0 +1,10 @@
+//! Seeded PF004 violation: a hot loop growing a local collection whose
+//! binding was neither `with_capacity` nor `reserve`d.
+
+pub fn cost(rows: &[u32]) -> usize {
+    let mut doubled = Vec::new();
+    for r in rows {
+        doubled.push(r * 2);
+    }
+    doubled.iter().count()
+}

@@ -1,0 +1,19 @@
+//! Seeded PF005 violation: a lock re-acquired on every iteration of a
+//! hot loop when the guard could be hoisted above it.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Meter {
+    stats: Mutex<u32>,
+}
+
+impl Meter {
+    pub fn cost(&self, rows: &[u32]) -> u32 {
+        let mut total = 0;
+        for r in rows {
+            let g = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            total += *g + r;
+        }
+        total
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded PF006 violation: a hot loop re-simulating through an engine
+//! entry point instead of assembling from the memoized layers.
+
+pub fn measure_batch(chains: &[Chain]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(chains.len());
+    for c in chains {
+        out.push(run_chain(c));
+    }
+    out
+}
+
+fn run_chain(c: &Chain) -> u64 {
+    c.jobs as u64
+}
+
+pub struct Chain {
+    pub jobs: usize,
+}

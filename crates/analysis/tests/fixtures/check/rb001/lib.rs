@@ -1,0 +1,16 @@
+//! Seeded RB001 violation: a struct field that receives pushes but has
+//! no shrink site anywhere in its file.
+
+pub struct Journal {
+    entries: Vec<u32>,
+}
+
+impl Journal {
+    pub fn record(&mut self, x: u32) {
+        self.entries.push(x);
+    }
+
+    pub fn total(&self) -> u32 {
+        self.entries.iter().sum()
+    }
+}

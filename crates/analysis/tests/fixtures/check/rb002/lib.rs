@@ -1,0 +1,8 @@
+//! Seeded RB002 violation: an unbounded channel — producers never block,
+//! so a slow consumer grows the queue without limit.
+
+use std::sync::mpsc;
+
+pub fn wire() -> (mpsc::Sender<u32>, mpsc::Receiver<u32>) {
+    mpsc::channel()
+}

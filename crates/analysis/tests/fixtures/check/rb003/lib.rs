@@ -1,0 +1,10 @@
+//! Seeded RB003 violation: a cache-like struct with no capacity policy —
+//! no eviction method, no shrink site, no capacity-limit vocabulary.
+
+pub struct PlanCache {
+    rows: Vec<u64>,
+}
+
+pub fn lookup(cache: &PlanCache, i: usize) -> Option<u64> {
+    cache.rows.get(i).copied()
+}

@@ -1,0 +1,13 @@
+//! Seeded RB004 violation: self-recursion on the fallible surface with
+//! no depth/fuel-style bound in scope.
+
+pub fn try_cost(v: &[u32]) -> Result<u32, ()> {
+    descend(v)
+}
+
+fn descend(v: &[u32]) -> Result<u32, ()> {
+    match v.split_first() {
+        None => Ok(0),
+        Some((first, rest)) => Ok(first + descend(rest)?),
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based checks of the loop-context tracker: over randomized
+//! nestings of `for`/`while`/`loop` bodies and non-loop `if` blocks, the
+//! model's `loop_depth` reports exactly the true loop nesting at every
+//! probe site, never a depth the site does not have — the invariant the
+//! PF rules lean on when they call a site "per-iteration".
+
+use proptest::prelude::*;
+use pruneperf_analysis::model::model_file;
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    /// A probe line whose true loop depth the generator knows.
+    Site,
+    For(Vec<Stmt>),
+    While(Vec<Stmt>),
+    Loop(Vec<Stmt>),
+    /// A non-loop block: braces and indentation without a new loop level.
+    If(Vec<Stmt>),
+}
+
+fn stmt_strategy(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        return Just(Stmt::Site).boxed();
+    }
+    let body = || prop::collection::vec(stmt_strategy(depth - 1), 1..4);
+    prop_oneof![
+        body().prop_map(Stmt::For),
+        body().prop_map(Stmt::While),
+        body().prop_map(Stmt::Loop),
+        body().prop_map(Stmt::If),
+        Just(Stmt::Site),
+    ]
+    .boxed()
+}
+
+/// Rendering state: the source built so far, the current line number,
+/// every probe and loop-header line with its true loop depth, and the
+/// total number of loop nodes emitted.
+#[derive(Default)]
+struct Rendered {
+    src: String,
+    line: usize,
+    sites: Vec<(usize, usize)>,
+    headers: Vec<(usize, usize)>,
+    loops: usize,
+}
+
+impl Rendered {
+    fn push_line(&mut self, indent: usize, text: &str) {
+        self.src.push_str(&"    ".repeat(indent));
+        self.src.push_str(text);
+        self.src.push('\n');
+        self.line += 1;
+    }
+}
+
+/// Renders the statements as Rust-shaped source into `r`.
+fn render(stmts: &[Stmt], indent: usize, loop_depth: usize, r: &mut Rendered) {
+    for s in stmts {
+        match s {
+            Stmt::Site => {
+                r.push_line(indent, "acc += 1;");
+                r.sites.push((r.line, loop_depth));
+            }
+            Stmt::For(body) | Stmt::While(body) | Stmt::Loop(body) => {
+                let header = match s {
+                    Stmt::For(_) => "for i in 0..n {",
+                    Stmt::While(_) => "while acc < n {",
+                    _ => "loop {",
+                };
+                r.push_line(indent, header);
+                r.headers.push((r.line, loop_depth));
+                r.loops += 1;
+                render(body, indent + 1, loop_depth + 1, r);
+                if matches!(s, Stmt::Loop(_)) {
+                    r.push_line(indent + 1, "break;");
+                }
+                r.push_line(indent, "}");
+            }
+            Stmt::If(body) => {
+                r.push_line(indent, "if acc > n {");
+                render(body, indent + 1, loop_depth, r);
+                r.push_line(indent, "}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `loop_depth` at every probe site equals the generator's true
+    /// nesting; loop headers count as *outside* their own loop (the
+    /// documented under-approximation); and the model sees exactly as
+    /// many loops as the generator emitted.
+    #[test]
+    fn loop_depth_matches_true_nesting(stmts in prop::collection::vec(stmt_strategy(3), 1..5)) {
+        let mut r = Rendered {
+            src: String::from("fn probe(n: u32) -> u32 {\n    let mut acc = 0;\n"),
+            line: 2,
+            ..Rendered::default()
+        };
+        render(&stmts, 1, 0, &mut r);
+        r.src.push_str("    acc\n}\n");
+
+        let functions = model_file("prop.rs", &r.src);
+        prop_assert_eq!(functions.len(), 1, "source:\n{}", r.src);
+        let f = &functions[0];
+        prop_assert_eq!(f.loops.len(), r.loops, "source:\n{}", r.src);
+        for &(l, depth) in &r.sites {
+            prop_assert_eq!(
+                f.loop_depth(l), depth,
+                "probe at line {} of:\n{}", l, r.src
+            );
+        }
+        for &(l, depth) in &r.headers {
+            prop_assert_eq!(
+                f.loop_depth(l), depth,
+                "header at line {} of:\n{}", l, r.src
+            );
+        }
+    }
+}

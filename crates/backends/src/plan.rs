@@ -25,6 +25,7 @@ impl DispatchPlan {
 
     /// Records a planner decision (visible in example output and tests).
     pub fn add_note(&mut self, note: impl Into<String>) {
+        // lint: allow(grow) — plan builder: a handful of notes per plan, dropped with it
         self.notes.push(note.into());
     }
 

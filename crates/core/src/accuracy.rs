@@ -48,13 +48,14 @@ impl AccuracyModel {
             (0.0..=1.0).contains(&base_accuracy),
             "base accuracy must be a fraction"
         );
-        let mut layer_prefix_mass = HashMap::new();
-        let mut layer_weight = HashMap::new();
+        let mut layer_prefix_mass = HashMap::with_capacity(network.len());
+        let mut layer_weight = HashMap::with_capacity(network.len());
         let total_macs = network.total_macs() as f64;
         for layer in network.layers() {
             let mut norms: Vec<f64> = weights::channel_l1_norms(layer)
                 .into_iter()
                 .map(f64::from)
+                // lint: allow(hot-alloc) — one-time model build; `new` collides with hot constructors
                 .collect();
             norms.sort_by(f64::total_cmp);
             let total: f64 = norms.iter().sum();
@@ -65,9 +66,12 @@ impl AccuracyModel {
                     acc += n / total;
                     acc
                 })
+                // lint: allow(hot-alloc) — one-time model build; `new` collides with hot constructors
                 .collect();
+            // lint: allow(hot-format) — labels keyed once at construction, not per cost call
             layer_prefix_mass.insert(layer.label().to_string(), prefix);
             // Layers doing more work carry more representational weight.
+            // lint: allow(hot-format) — labels keyed once at construction, not per cost call
             layer_weight.insert(layer.label().to_string(), layer.macs() as f64 / total_macs);
         }
         AccuracyModel {

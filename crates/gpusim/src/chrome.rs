@@ -80,6 +80,7 @@ impl ChromeEvent {
 
     /// Attaches a string argument (shown in the viewer's detail pane).
     pub fn arg_str(mut self, key: &str, value: &str) -> Self {
+        // lint: allow(grow) — event builder: a few args per trace event, serialized and dropped
         self.args.push((key.to_string(), json_string(value)));
         self
     }

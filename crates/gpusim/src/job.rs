@@ -65,6 +65,7 @@ impl JobChain {
 
     /// Appends a job.
     pub fn push(&mut self, job: Job) {
+        // lint: allow(grow) — chain builder: bounded by the dispatch plan's kernel count
         self.jobs.push(job);
     }
 

@@ -98,12 +98,13 @@ impl FullNetwork {
     /// Labels of every convolution in execution order (descending into
     /// residual bodies and projections).
     pub fn conv_labels(&self) -> Vec<String> {
-        fn collect(ops: &[LayerOp], out: &mut Vec<String>) {
+        fn collect_convs(ops: &[LayerOp], out: &mut Vec<String>) {
             for op in ops {
                 match op {
                     LayerOp::Conv(spec) => out.push(spec.label().to_string()),
                     LayerOp::Residual { body, projection } => {
-                        collect(body, out);
+                        // lint: allow(recursion-bound) — residual bodies nest one level by construction (NV003)
+                        collect_convs(body, out);
                         if let Some(p) = projection {
                             out.push(p.label().to_string());
                         }
@@ -113,7 +114,7 @@ impl FullNetwork {
             }
         }
         let mut out = Vec::new();
-        collect(&self.ops, &mut out);
+        collect_convs(&self.ops, &mut out);
         out
     }
 

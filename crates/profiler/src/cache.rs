@@ -581,6 +581,7 @@ impl LatencyCache {
     /// kernel memo and engine counters reset alongside the query counters.
     pub fn clear(&self) {
         for (shard, counters) in self.shards.iter().zip(&self.counters) {
+            // lint: allow(hot-lock) — one acquisition per shard per reset; sharding splits this lock by design
             let mut table = shard.lock().unwrap_or_else(PoisonError::into_inner);
             let dropped: usize = table.values().map(Vec::len).sum();
             table.clear();

@@ -153,6 +153,7 @@ impl KernelMemo {
     /// Drops every entry and resets the eval counter.
     pub(crate) fn clear(&self) {
         for shard in &self.shards {
+            // lint: allow(hot-lock) — one acquisition per shard per reset; sharding splits this lock by design
             shard.lock().unwrap_or_else(PoisonError::into_inner).clear();
         }
         self.evals.store(0, Ordering::Relaxed);

@@ -20,6 +20,9 @@ cargo run --release -q -- check --json --jobs 1 > /tmp/pruneperf-check-seq.json
 cargo run --release -q -- check --json --jobs 8 > /tmp/pruneperf-check-par.json
 cmp /tmp/pruneperf-check-seq.json /tmp/pruneperf-check-par.json
 
+echo "== analyzer coverage delta (informational) =="
+./scripts/coverage_delta.sh /tmp/pruneperf-check-seq.json CHECK_COVERAGE.json
+
 echo "== chaos drill (fault injection, byte-identical across worker counts) =="
 for seed in 1 2 3; do
   cargo run --release -q -- chaos --seed "$seed" --jobs 1 > "/tmp/pruneperf-chaos-$seed-seq.txt"

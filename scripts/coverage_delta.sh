@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Prints the analyzer coverage counters of a `pruneperf check --json`
+# report next to the checked-in baseline (CHECK_COVERAGE.json), with
+# deltas. Informational only — a growing tree legitimately moves both
+# numbers; the point is making the movement visible in the CI log.
+#
+# Usage: scripts/coverage_delta.sh <current-check.json> <baseline.json>
+set -euo pipefail
+
+current="$1"
+baseline="$2"
+
+field() {
+  grep -o "\"$2\": *[0-9][0-9]*" "$1" | head -n 1 | grep -o '[0-9][0-9]*$'
+}
+
+for key in functions_modeled hot_functions; do
+  cur="$(field "$current" "$key")"
+  base="$(field "$baseline" "$key")"
+  printf '%s: %s (baseline %s, delta %+d)\n' "$key" "$cur" "$base" "$((cur - base))"
+done

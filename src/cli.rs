@@ -134,9 +134,10 @@ commands:
             verify whole-network dataflow (stock + pruned assemblies,
             greedy pruning plans) and audit simulator schedule traces
   check     [--json] [--deny-warnings] [--root PATH]
-            concurrency & panic-path analysis: lock-order cycles, guards
-            held across lock-taking calls or parallel fan-out, poison
-            recovery, and panic sources reachable from the fallible API
+            concurrency, panic-path, hot-path & resource analysis:
+            lock-order cycles, guards held across fan-out, panic sources
+            on the fallible API, per-iteration allocation/locking on the
+            serving/search hot paths, and unbounded growth (CC/PN/PF/RB)
   chaos     [--seed S] [--faults RATE] [--jobs N] [--json] [--trace-out PATH]
             deterministic fault-injection drill: transient-fault retries,
             permanent-fault curve gaps, contained worker panics, poisoned

@@ -124,6 +124,14 @@ fn audit_json_schema_matches_golden() {
 }
 
 #[test]
+fn check_json_schema_matches_golden() {
+    // The CC/PN/PF/RB analyzer over the real tree; pins the summary shape
+    // including the per-family counts and hot-function tally.
+    let json = cli(&["check", "--json"]);
+    check_golden("check.schema.txt", &schema_of(&json));
+}
+
+#[test]
 fn bench_json_schema_matches_golden() {
     // With wall stats: pins the full schema including the wall object
     // (whose values are machine-dependent and therefore schema-only).
