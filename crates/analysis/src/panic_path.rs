@@ -1,8 +1,9 @@
 //! The panic-path reachability rules (`PN001`–`PN003`).
 //!
 //! The PR-4 contract for the fallible API surface — `try_cost`,
-//! `try_measure`, `try_run`, `latency_curve_partial` and the
-//! fault-injection `with_retry` — is "errors, never panics". The source
+//! `try_measure`, `try_run`, `latency_curve_partial`, the
+//! fault-injection `with_retry`, and the serving side-channel writers
+//! `try_write_file`/`try_respond` — is "errors, never panics". The source
 //! lint's `SL005` enforces that per-line for `unwrap`; these rules
 //! upgrade it to *interprocedural*: a panic source anywhere in the code
 //! transitively reachable from a fallible entry point is a contract
@@ -36,7 +37,9 @@ pub const FALLIBLE_ROOTS: &[&str] = &[
     "latency_curve_partial",
     "try_cost",
     "try_measure",
+    "try_respond",
     "try_run",
+    "try_write_file",
     "with_retry",
 ];
 

@@ -180,6 +180,41 @@ pub trait ConvBackend: Send + Sync {
     }
 }
 
+/// Boxed backends are backends. Every method delegates — including the
+/// ones with trait defaults — so a decorator's overridden `fingerprint`
+/// or `try_cost` survives boxing instead of silently reverting to the
+/// default. This is what lets fault decorators and the serving daemon
+/// wrap a runtime-chosen `Box<dyn ConvBackend>`.
+impl<B: ConvBackend + ?Sized> ConvBackend for Box<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
+    }
+
+    fn plan(&self, layer: &ConvLayerSpec, device: &Device) -> DispatchPlan {
+        (**self).plan(layer, device)
+    }
+
+    fn cost(&self, layer: &ConvLayerSpec, device: &Device) -> (f64, f64) {
+        (**self).cost(layer, device)
+    }
+
+    fn try_cost(&self, layer: &ConvLayerSpec, device: &Device) -> Result<(f64, f64), CostError> {
+        (**self).try_cost(layer, device)
+    }
+
+    fn latency_ms(&self, layer: &ConvLayerSpec, device: &Device) -> f64 {
+        (**self).latency_ms(layer, device)
+    }
+
+    fn energy_mj(&self, layer: &ConvLayerSpec, device: &Device) -> f64 {
+        (**self).energy_mj(layer, device)
+    }
+}
+
 /// All four backend models, boxed, in the order the paper presents them.
 pub fn all_backends() -> Vec<Box<dyn ConvBackend>> {
     vec![

@@ -22,9 +22,10 @@
 //! injected faults. [`LatencyCache::engine_stats`] reports how much full
 //! simulation the incremental path avoided.
 
+use std::cmp::Ordering as CmpOrdering;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 use pruneperf_backends::hash::fnv1a;
@@ -54,6 +55,30 @@ struct CacheKey {
 impl CacheKey {
     fn matches(&self, backend: u64, device: &str, layer: &ConvLayerSpec) -> bool {
         self.backend == backend && self.device == device && &self.layer == layer
+    }
+
+    /// Total order over keys, used as the eviction tie-break *within* one
+    /// digest bucket (cross-bucket order is by digest). Purely structural —
+    /// no insertion-time or thread-schedule component — so the bounded
+    /// cache's final contents are a function of the query set alone.
+    fn order_cmp(&self, other: &CacheKey) -> CmpOrdering {
+        let tuple = |k: &CacheKey| {
+            (
+                k.backend,
+                k.layer.kernel(),
+                k.layer.stride(),
+                k.layer.pad(),
+                k.layer.c_in(),
+                k.layer.c_out(),
+                k.layer.h_in(),
+                k.layer.w_in(),
+                k.layer.groups(),
+            )
+        };
+        self.device
+            .cmp(&other.device)
+            .then_with(|| self.layer.label().cmp(other.layer.label()))
+            .then_with(|| tuple(self).cmp(&tuple(other)))
     }
 }
 
@@ -147,8 +172,9 @@ pub struct CacheShardStats {
     pub misses: u64,
     /// Fallible queries whose backend evaluation failed (never cached).
     pub failures: u64,
-    /// Entries dropped by [`LatencyCache::clear`], cumulative over the
-    /// cache's lifetime (clearing resets the other counters, not this).
+    /// Entries dropped by [`LatencyCache::clear`] or displaced by the
+    /// opt-in per-shard bound, cumulative over the cache's lifetime
+    /// (clearing resets the other counters, not this).
     pub evictions: u64,
     /// Unique configurations currently stored in the shard.
     pub entries: usize,
@@ -166,7 +192,8 @@ pub struct CacheStats {
     pub lookups: u64,
     /// Fallible queries whose evaluation failed (never cached).
     pub failures: u64,
-    /// Entries dropped by [`LatencyCache::clear`] over the cache lifetime.
+    /// Entries dropped by [`LatencyCache::clear`] or displaced by the
+    /// opt-in per-shard bound, over the cache lifetime.
     pub evictions: u64,
     /// Unique (backend, device, layer) configurations currently stored.
     pub entries: usize,
@@ -213,6 +240,11 @@ pub struct LatencyCache {
     /// keys sharing that digest so hash collisions stay correct.
     shards: Vec<Mutex<Shard>>,
     counters: Vec<ShardCounters>,
+    /// Opt-in per-shard entry bound; `0` means unbounded (the default, so
+    /// batch workloads keep today's byte-identical goldens). Long-running
+    /// processes (`pruneperf serve`) set it so the table cannot grow
+    /// without limit. See [`LatencyCache::set_max_entries_per_shard`].
+    max_entries: AtomicUsize,
     /// Per-kernel engine-cost memo backing the incremental miss path.
     memo: KernelMemo,
     /// Engine-activity counters. Classified at cache-insert time (win =
@@ -236,6 +268,7 @@ impl LatencyCache {
         LatencyCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             counters: (0..SHARDS).map(|_| ShardCounters::default()).collect(),
+            max_entries: AtomicUsize::new(0),
             memo: KernelMemo::new(),
             chains_assembled: AtomicU64::new(0),
             engine_runs: AtomicU64::new(0),
@@ -247,6 +280,80 @@ impl LatencyCache {
     pub fn global() -> &'static LatencyCache {
         static GLOBAL: OnceLock<LatencyCache> = OnceLock::new();
         GLOBAL.get_or_init(LatencyCache::new)
+    }
+
+    /// Bounds every shard (and the owned kernel memo) to at most `cap`
+    /// entries; `0` restores the unbounded default.
+    ///
+    /// The eviction policy is *admit-if-smaller* in digest order: a fresh
+    /// key is admitted to a full shard only when its `(digest, key)` order
+    /// key is smaller than the shard's current maximum, which it displaces
+    /// (one `evictions` count per displacement). Membership is therefore
+    /// monotone toward the `cap` order-smallest distinct keys ever queried
+    /// — a pure function of the query *set*, independent of arrival order
+    /// and thread schedule, which is what keeps bounded serving runs
+    /// byte-identical at any `--jobs`. The hit/miss *split* (never the
+    /// `lookups == hits + misses + failures` conservation law) and the
+    /// engine counters do become sequence-dependent once entries can be
+    /// rejected, which is why the bound is opt-in and batch workloads
+    /// leave it off.
+    ///
+    /// Shrinking below the current occupancy trims each shard to `cap`
+    /// immediately, largest order keys first.
+    pub fn set_max_entries_per_shard(&self, cap: usize) {
+        self.max_entries.store(cap, Ordering::Relaxed);
+        self.memo.set_max_entries_per_shard(cap);
+        if cap == 0 {
+            return;
+        }
+        for (shard, counters) in self.shards.iter().zip(&self.counters) {
+            // lint: allow(hot-lock) — a different shard each iteration; nothing to hoist
+            let mut table = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut dropped = 0u64;
+            while table.values().map(Vec::len).sum::<usize>() > cap {
+                // lint: allow(guard-call) — evict_max only mutates the held shard, takes no lock
+                Self::evict_max(&mut table);
+                dropped += 1;
+            }
+            drop(table);
+            counters.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured per-shard bound (`0` = unbounded).
+    pub fn max_entries_per_shard(&self) -> usize {
+        self.max_entries.load(Ordering::Relaxed)
+    }
+
+    /// Removes the entry with the largest `(digest, key)` order key from
+    /// `table`. No-op on an empty table.
+    fn evict_max(table: &mut Shard) {
+        let mut max_at: Option<(u64, usize, &CacheKey)> = None;
+        for (&digest, bucket) in table.iter() {
+            for (i, (key, _)) in bucket.iter().enumerate() {
+                let greater = match max_at {
+                    None => true,
+                    Some((d, _, incumbent)) => {
+                        digest.cmp(&d).then_with(|| key.order_cmp(incumbent))
+                            == CmpOrdering::Greater
+                    }
+                };
+                if greater {
+                    max_at = Some((digest, i, key));
+                }
+            }
+        }
+        let target = max_at.map(|(digest, i, _)| (digest, i));
+        if let Some((digest, i)) = target {
+            if let Some(bucket) = table.get_mut(&digest) {
+                if i < bucket.len() {
+                    bucket.remove(i);
+                }
+                if bucket.is_empty() {
+                    table.remove(&digest);
+                }
+            }
+        }
     }
 
     /// `(latency ms, energy mJ)` of one execution, memoized.
@@ -403,6 +510,13 @@ impl LatencyCache {
     ///
     /// Returns `true` when this call's insert landed — the canonical
     /// evaluation of the key, which is what the engine counters bill.
+    ///
+    /// When a per-shard bound is set (see
+    /// [`LatencyCache::set_max_entries_per_shard`]) a fresh key may be
+    /// *rejected* by a full shard instead of stored; the computed value is
+    /// still returned to the caller, the query still counts as a miss, but
+    /// no engine counter is billed (there is no canonical owner of a value
+    /// the table refused to keep).
     fn insert(
         &self,
         fingerprint: u64,
@@ -411,21 +525,40 @@ impl LatencyCache {
         value: (f64, f64),
     ) -> bool {
         let digest = key_digest(fingerprint, device.name(), layer);
-        let key = CacheKey {
-            backend: fingerprint,
-            device: device.name().to_string(),
-            layer: layer.clone(),
-        };
         let mut table = self
             .shard(digest)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let bucket = table.entry(digest).or_default();
-        let already_present = bucket
-            .iter()
-            .any(|(k, _)| k.matches(fingerprint, device.name(), layer));
+        let already_present = table.get(&digest).is_some_and(|bucket| {
+            bucket
+                .iter()
+                .any(|(k, _)| k.matches(fingerprint, device.name(), layer))
+        });
+        let mut admitted = false;
+        let mut displaced = false;
         if !already_present {
-            bucket.push((key, value));
+            let key = CacheKey {
+                backend: fingerprint,
+                device: device.name().to_string(),
+                layer: layer.clone(),
+            };
+            let cap = self.max_entries.load(Ordering::Relaxed);
+            let full = cap > 0 && table.values().map(Vec::len).sum::<usize>() >= cap;
+            if full {
+                // Admit-if-smaller: displace the current maximum only when
+                // the candidate orders below it, so membership converges to
+                // the cap-smallest distinct keys regardless of arrival
+                // order (the determinism contract of the bounded mode).
+                if Self::shard_max_exceeds(&table, digest, &key) {
+                    Self::evict_max(&mut table);
+                    displaced = true;
+                    table.entry(digest).or_default().push((key, value));
+                    admitted = true;
+                }
+            } else {
+                table.entry(digest).or_default().push((key, value));
+                admitted = true;
+            }
         }
         drop(table);
         let counters = self.shard_counters(digest);
@@ -434,7 +567,20 @@ impl LatencyCache {
         } else {
             counters.misses.fetch_add(1, Ordering::Relaxed);
         }
-        !already_present
+        if displaced {
+            counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// `true` when some entry in `table` has a `(digest, key)` order key
+    /// strictly greater than the candidate's.
+    fn shard_max_exceeds(table: &Shard, digest: u64, key: &CacheKey) -> bool {
+        table.iter().any(|(&d, bucket)| {
+            bucket
+                .iter()
+                .any(|(k, _)| d.cmp(&digest).then_with(|| k.order_cmp(key)) == CmpOrdering::Greater)
+        })
     }
 
     /// The shard holding `digest`.
@@ -831,6 +977,135 @@ mod tests {
         }
         cache.clear();
         assert_eq!(cache.stats().evictions, 14, "evictions are cumulative");
+    }
+
+    /// The final contents of a bounded cache are a pure function of the
+    /// distinct keys queried — identical whether the sweep ran on one
+    /// thread in order, one thread in reverse, or four racing threads.
+    #[test]
+    fn bounded_eviction_is_deterministic_across_schedules() {
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let cap = 3usize;
+
+        let contents = |cache: &LatencyCache| -> Vec<(usize, usize)> {
+            cache
+                .shard_stats()
+                .iter()
+                .map(|s| (s.shard, s.entries))
+                .filter(|(_, n)| *n > 0)
+                .collect()
+        };
+        let probe = |cache: &LatencyCache| -> Vec<u64> {
+            // Bit-pattern of every retained key's value: hit or recompute,
+            // the returned value is bitwise identical either way, so probe
+            // through the public API and read which keys are *hits*.
+            (1..=64usize)
+                .map(|c| {
+                    cache
+                        .latency_ms(&b, &l16().with_c_out(c).unwrap(), &d)
+                        .to_bits()
+                })
+                .collect()
+        };
+
+        let forward = LatencyCache::new();
+        forward.set_max_entries_per_shard(cap);
+        for c in 1..=64usize {
+            forward.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+
+        let reverse = LatencyCache::new();
+        reverse.set_max_entries_per_shard(cap);
+        for c in (1..=64usize).rev() {
+            reverse.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+
+        let racing = LatencyCache::new();
+        racing.set_max_entries_per_shard(cap);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(|| {
+                    for c in 1..=64usize {
+                        racing.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+                    }
+                    let _ = t;
+                });
+            }
+        });
+
+        assert_eq!(contents(&forward), contents(&reverse));
+        assert_eq!(contents(&forward), contents(&racing));
+        for s in forward.shard_stats() {
+            assert!(
+                s.entries <= cap,
+                "shard {} over cap: {}",
+                s.shard,
+                s.entries
+            );
+        }
+        assert!(forward.len() <= cap * 16);
+        assert!(forward.stats().evictions > 0, "a 64-key sweep must evict");
+        // Values stay bitwise correct whether a key was retained or not.
+        assert_eq!(probe(&forward), probe(&reverse));
+    }
+
+    #[test]
+    fn bounded_counters_conserve_lookups() {
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let cache = LatencyCache::new();
+        cache.set_max_entries_per_shard(2);
+        for _ in 0..3 {
+            for c in 1..=40usize {
+                cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, stats.hits + stats.misses + stats.failures);
+        for s in cache.shard_stats() {
+            assert_eq!(s.lookups, s.hits + s.misses + s.failures);
+            assert!(s.entries <= 2);
+        }
+    }
+
+    #[test]
+    fn shrinking_the_bound_trims_immediately() {
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let cache = LatencyCache::new();
+        for c in 1..=64usize {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        let before = cache.len();
+        assert_eq!(cache.max_entries_per_shard(), 0);
+        cache.set_max_entries_per_shard(1);
+        assert_eq!(cache.max_entries_per_shard(), 1);
+        let after = cache.len();
+        assert!(after < before);
+        for s in cache.shard_stats() {
+            assert!(s.entries <= 1);
+        }
+        let evicted: u64 = cache.stats().evictions;
+        assert_eq!(evicted, (before - after) as u64);
+        // Unbinding again restores growth for fresh keys.
+        cache.set_max_entries_per_shard(0);
+        for c in 65..=80usize {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        assert!(cache.len() > after);
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts_on_insert() {
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        let cache = LatencyCache::new();
+        for c in 1..=128usize {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.len(), 128);
     }
 
     #[test]

@@ -25,9 +25,10 @@
 //! owning [`crate::LatencyCache`] from its own schedule-independent
 //! assembly counts (see [`EngineStats::kernel_memo_hits`]).
 
+use std::cmp::Ordering as CmpOrdering;
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use pruneperf_backends::hash::fnv1a;
@@ -52,6 +53,16 @@ impl MemoKey {
     fn matches(&self, device: &str, kernel: &KernelDesc) -> bool {
         self.device == device && self.kernel.cost_equivalent(kernel)
     }
+
+    /// Structural order used as the within-bucket eviction tie-break
+    /// (cross-bucket order is by digest), mirroring the layer cache's
+    /// `CacheKey::order_cmp`.
+    fn order_cmp(&self, other: &MemoKey) -> CmpOrdering {
+        self.device
+            .cmp(&other.device)
+            .then_with(|| self.kernel.cost_digest().cmp(&other.kernel.cost_digest()))
+            .then_with(|| self.kernel.name().cmp(other.kernel.name()))
+    }
 }
 
 type Bucket = Vec<(MemoKey, KernelCost)>;
@@ -67,6 +78,10 @@ pub(crate) struct KernelMemo {
     /// Unique kernel shapes evaluated (insert winners only — see the
     /// module docs for why this is schedule-independent).
     evals: AtomicU64,
+    /// Opt-in per-shard entry bound; `0` means unbounded. Set alongside
+    /// the owning cache's bound by
+    /// [`crate::LatencyCache::set_max_entries_per_shard`].
+    max_entries: AtomicUsize,
 }
 
 impl KernelMemo {
@@ -75,6 +90,55 @@ impl KernelMemo {
         KernelMemo {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             evals: AtomicU64::new(0),
+            max_entries: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bounds every shard to at most `cap` entries (`0` = unbounded),
+    /// trimming immediately when shrinking below current occupancy. Same
+    /// admit-if-smaller digest-order policy as the layer cache.
+    pub(crate) fn set_max_entries_per_shard(&self, cap: usize) {
+        self.max_entries.store(cap, Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        for shard in &self.shards {
+            // lint: allow(hot-lock) — a different shard each iteration; nothing to hoist
+            let mut table = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            while table.values().map(Vec::len).sum::<usize>() > cap {
+                // lint: allow(guard-call) — evict_max only mutates the held shard, takes no lock
+                Self::evict_max(&mut table);
+            }
+        }
+    }
+
+    /// Removes the entry with the largest `(digest, key)` order key.
+    fn evict_max(table: &mut Shard) {
+        let mut max_at: Option<(u64, usize, &MemoKey)> = None;
+        for (&digest, bucket) in table.iter() {
+            for (i, (key, _)) in bucket.iter().enumerate() {
+                let greater = match max_at {
+                    None => true,
+                    Some((d, _, incumbent)) => {
+                        digest.cmp(&d).then_with(|| key.order_cmp(incumbent))
+                            == CmpOrdering::Greater
+                    }
+                };
+                if greater {
+                    max_at = Some((digest, i, key));
+                }
+            }
+        }
+        let target = max_at.map(|(digest, i, _)| (digest, i));
+        if let Some((digest, i)) = target {
+            if let Some(bucket) = table.get_mut(&digest) {
+                if i < bucket.len() {
+                    bucket.remove(i);
+                }
+                if bucket.is_empty() {
+                    table.remove(&digest);
+                }
+            }
         }
     }
 
@@ -116,19 +180,45 @@ impl KernelMemo {
             .shard(digest)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let bucket = table.entry(digest).or_default();
-        if !bucket.iter().any(|(k, _)| k.matches(device, kernel)) {
-            bucket.push((
-                MemoKey {
-                    device: device.to_string(),
-                    kernel: kernel.clone(),
-                },
-                computed,
-            ));
-            drop(table);
-            self.evals.fetch_add(1, Ordering::Relaxed);
+        let already_present = table
+            .get(&digest)
+            .is_some_and(|bucket| bucket.iter().any(|(k, _)| k.matches(device, kernel)));
+        if !already_present {
+            let key = MemoKey {
+                device: device.to_string(),
+                kernel: kernel.clone(),
+            };
+            let cap = self.max_entries.load(Ordering::Relaxed);
+            let full = cap > 0 && table.values().map(Vec::len).sum::<usize>() >= cap;
+            let admit = if full {
+                // Admit-if-smaller (see the layer cache): membership
+                // converges to the cap-smallest keys, arrival-order-free.
+                if Self::shard_max_exceeds(&table, digest, &key) {
+                    Self::evict_max(&mut table);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                true
+            };
+            if admit {
+                table.entry(digest).or_default().push((key, computed));
+                drop(table);
+                self.evals.fetch_add(1, Ordering::Relaxed);
+            }
         }
         computed
+    }
+
+    /// `true` when some entry in `table` orders strictly above the
+    /// candidate `(digest, key)`.
+    fn shard_max_exceeds(table: &Shard, digest: u64, key: &MemoKey) -> bool {
+        table.iter().any(|(&d, bucket)| {
+            bucket
+                .iter()
+                .any(|(k, _)| d.cmp(&digest).then_with(|| k.order_cmp(key)) == CmpOrdering::Greater)
+        })
     }
 
     /// Unique kernel shapes evaluated so far.

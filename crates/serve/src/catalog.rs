@@ -1,0 +1,117 @@
+//! Short-name resolution for devices, backends and networks.
+//!
+//! The single source of truth for the wire/CLI names; `src/cli.rs`
+//! delegates here so the daemon and the one-shot commands agree on both
+//! the names and the error messages.
+
+use pruneperf_backends::{AclAuto, AclDirect, AclDirectTuned, AclGemm, ConvBackend, Cudnn, Tvm};
+use pruneperf_gpusim::Device;
+use pruneperf_models::{alexnet, mobilenet_v1, resnet50, vgg16, Network};
+
+/// The CLI short names, paired with their devices.
+pub fn named_devices() -> [(&'static str, Device); 4] {
+    [
+        ("hikey970", Device::mali_g72_hikey970()),
+        ("odroidxu4", Device::mali_t628_odroidxu4()),
+        ("tx2", Device::jetson_tx2()),
+        ("nano", Device::jetson_nano()),
+    ]
+}
+
+/// Resolves a device short name (with the paper's GPU aliases).
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the known names.
+pub fn device_by_name(name: &str) -> Result<Device, String> {
+    let resolved = match name {
+        "g72" => "hikey970",
+        "t628" => "odroidxu4",
+        other => other,
+    };
+    named_devices()
+        .into_iter()
+        .find(|(short, _)| *short == resolved)
+        .map(|(_, d)| d)
+        .ok_or_else(|| {
+            format!("unknown device '{name}' (expected hikey970 | odroidxu4 | tx2 | nano)")
+        })
+}
+
+/// Resolves a backend short name.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the known names.
+pub fn backend_by_name(name: &str) -> Result<Box<dyn ConvBackend>, String> {
+    match name {
+        "acl-gemm" => Ok(Box::new(AclGemm::new())),
+        "acl-direct" => Ok(Box::new(AclDirect::new())),
+        "acl-direct-tuned" => Ok(Box::new(AclDirectTuned::new())),
+        "acl-auto" => Ok(Box::new(AclAuto::new())),
+        "cudnn" => Ok(Box::new(Cudnn::new())),
+        "tvm" => Ok(Box::new(Tvm::new())),
+        other => Err(format!(
+            "unknown backend '{other}' (expected acl-gemm | acl-direct | acl-direct-tuned | acl-auto | cudnn | tvm)"
+        )),
+    }
+}
+
+/// Resolves a network short name.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the known names.
+pub fn network_by_name(name: &str) -> Result<Network, String> {
+    match name {
+        "resnet50" => Ok(resnet50()),
+        "vgg16" => Ok(vgg16()),
+        "alexnet" => Ok(alexnet()),
+        "mobilenetv1" => Ok(mobilenet_v1()),
+        other => Err(format!(
+            "unknown network '{other}' (expected resnet50 | vgg16 | alexnet | mobilenetv1)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_resolve_to_boards() {
+        assert_eq!(
+            device_by_name("g72").unwrap().name(),
+            device_by_name("hikey970").unwrap().name()
+        );
+        assert_eq!(
+            device_by_name("t628").unwrap().name(),
+            device_by_name("odroidxu4").unwrap().name()
+        );
+        assert!(device_by_name("rtx4090")
+            .unwrap_err()
+            .contains("unknown device"));
+    }
+
+    #[test]
+    fn all_catalog_names_resolve() {
+        for (short, _) in named_devices() {
+            assert!(device_by_name(short).is_ok());
+        }
+        for b in [
+            "acl-gemm",
+            "acl-direct",
+            "acl-direct-tuned",
+            "acl-auto",
+            "cudnn",
+            "tvm",
+        ] {
+            assert!(backend_by_name(b).is_ok());
+        }
+        for n in ["resnet50", "vgg16", "alexnet", "mobilenetv1"] {
+            assert!(network_by_name(n).is_ok());
+        }
+        assert!(backend_by_name("mkl").is_err());
+        assert!(network_by_name("lenet").is_err());
+    }
+}

@@ -7,14 +7,16 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use pruneperf_backends::{AclAuto, AclDirect, AclDirectTuned, AclGemm, ConvBackend, Cudnn, Tvm};
+use pruneperf_backends::ConvBackend;
 use pruneperf_core::accuracy::AccuracyModel;
 use pruneperf_core::{report, sensitivity, PerfAwarePruner, Staircase};
-use pruneperf_gpusim::{render_trace, Device, Engine};
+use pruneperf_gpusim::{render_trace, ChromeEvent, Device, Engine};
 use pruneperf_models::{alexnet, mobilenet_v1, resnet50, vgg16, Network};
 use pruneperf_profiler::{
     sweep, LatencyCache, LayerProfiler, NetworkRunner, Stats, ThermalGovernor,
 };
+use pruneperf_serve::replay::{replay_trace_with, ReplayOptions};
+use pruneperf_serve::{run_loadgen, LoadgenOptions, PlanService, Server, ServerOptions};
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,53 +34,26 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
-/// Resolves a device short name.
+/// Resolves a device short name. Delegates to the serving catalog so
+/// the daemon and the one-shot commands agree on names and messages.
 pub fn device_by_name(name: &str) -> Result<Device, CliError> {
-    let resolved = match name {
-        "g72" => "hikey970",
-        "t628" => "odroidxu4",
-        other => other,
-    };
-    named_devices()
-        .into_iter()
-        .find(|(short, _)| *short == resolved)
-        .map(|(_, d)| d)
-        .ok_or_else(|| {
-            err(format!(
-                "unknown device '{name}' (expected hikey970 | odroidxu4 | tx2 | nano)"
-            ))
-        })
+    pruneperf_serve::catalog::device_by_name(name).map_err(err)
 }
 
 /// Resolves a backend short name.
 pub fn backend_by_name(name: &str) -> Result<Box<dyn ConvBackend>, CliError> {
-    match name {
-        "acl-gemm" => Ok(Box::new(AclGemm::new())),
-        "acl-direct" => Ok(Box::new(AclDirect::new())),
-        "acl-direct-tuned" => Ok(Box::new(AclDirectTuned::new())),
-        "acl-auto" => Ok(Box::new(AclAuto::new())),
-        "cudnn" => Ok(Box::new(Cudnn::new())),
-        "tvm" => Ok(Box::new(Tvm::new())),
-        other => Err(err(format!(
-            "unknown backend '{other}' (expected acl-gemm | acl-direct | acl-direct-tuned | acl-auto | cudnn | tvm)"
-        ))),
-    }
+    pruneperf_serve::catalog::backend_by_name(name).map_err(err)
 }
 
 /// Resolves a network short name.
 pub fn network_by_name(name: &str) -> Result<Network, CliError> {
-    match name {
-        "resnet50" => Ok(resnet50()),
-        "vgg16" => Ok(vgg16()),
-        "alexnet" => Ok(alexnet()),
-        "mobilenetv1" => Ok(mobilenet_v1()),
-        other => Err(err(format!(
-            "unknown network '{other}' (expected resnet50 | vgg16 | alexnet | mobilenetv1)"
-        ))),
-    }
+    pruneperf_serve::catalog::network_by_name(name).map_err(err)
 }
 
 /// Parses `--key value` pairs after the subcommand.
+///
+/// Duplicate flags are an error, not a silent last-wins: `profile
+/// --device tx2 --device nano` used to quietly profile nano.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -91,7 +66,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         let Some(value) = it.next() else {
             return Err(err(format!("flag --{key} needs a value")));
         };
-        flags.insert(key.to_string(), value.clone());
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(err(format!(
+                "duplicate flag --{key} (each flag may be given once)"
+            )));
+        }
     }
     Ok(flags)
 }
@@ -101,7 +80,11 @@ fn flag<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> 
 }
 
 /// Writes a side-channel artifact (trace, stats snapshot, bench report).
-fn write_file(path: &str, contents: &str, what: &str) -> Result<(), CliError> {
+///
+/// Part of the fallible API surface (a `PN` reachability root): a full
+/// disk or bad path must surface as a [`CliError`], never a panic, since
+/// long-running `serve` processes hit these writes repeatedly.
+fn try_write_file(path: &str, contents: &str, what: &str) -> Result<(), CliError> {
     std::fs::write(path, contents).map_err(|e| err(format!("cannot write {what} to '{path}': {e}")))
 }
 
@@ -146,6 +129,21 @@ commands:
             fixed micro-benchmark suite; deterministic virtual metrics are
             regression-diffed against a checked-in baseline (BENCH_PR6.json)
             with --check, wall-clock medians ride along unless --no-wall
+  serve     [--addr A] [--workers N] [--queue N] [--cache-cap N]
+            [--max-requests N] [--replay PATH] [--service-ms F]
+            [--stats PATH] [--trace-out PATH]
+            pruning-plan daemon: POST /plan takes one JSON request line,
+            GET /stats the counter registry; bounded per-worker queues
+            shed excess load with 429, the latency cache is bounded per
+            --cache-cap (0 = unbounded), and faulty verification runs
+            degrade responses instead of dropping them. --replay answers
+            a request trace deterministically on stdout (no sockets);
+            --trace-out writes the virtual-time admission timeline
+  loadgen   [--seed S] [--requests N] [--workers N] [--queue N]
+            [--service-ms F] [--cache-cap N]
+            seeded synthetic request mix through the replay pipeline;
+            reports shed/dedup/degraded tallies and virtual latency
+            percentiles, byte-identical at any --jobs
 
 every command also accepts --jobs N: worker threads for channel sweeps
 (default: all cores; the PRUNEPERF_JOBS environment variable overrides)
@@ -203,6 +201,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         "gantt" => cmd_gantt(&flags),
         "sensitivity" => cmd_sensitivity(&flags),
         "report" => cmd_report(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command '{other}'\n{USAGE}"))),
     }
@@ -210,12 +210,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
 
 /// The CLI short names, paired with their devices.
 fn named_devices() -> [(&'static str, Device); 4] {
-    [
-        ("hikey970", Device::mali_g72_hikey970()),
-        ("odroidxu4", Device::mali_t628_odroidxu4()),
-        ("tx2", Device::jetson_tx2()),
-        ("nano", Device::jetson_nano()),
-    ]
+    pruneperf_serve::catalog::named_devices()
 }
 
 fn cmd_devices() -> String {
@@ -274,10 +269,10 @@ fn cmd_profile(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let curve = profiler.latency_curve(backend.as_ref(), &layer, 1..=layer.c_out());
     if let Some(path) = flags.get("trace-out") {
         let events = profiler.sweep_events(backend.as_ref(), &layer, 1..=layer.c_out());
-        write_file(path, &render_trace(&events), "Chrome trace")?;
+        try_write_file(path, &render_trace(&events), "Chrome trace")?;
     }
     if let Some(path) = flags.get("stats") {
-        write_file(
+        try_write_file(
             path,
             &stats.snapshot_with_cache(&cache).render_json(),
             "stats snapshot",
@@ -357,10 +352,10 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let report = runner.run(backend.as_ref(), &network);
     if let Some(path) = flags.get("trace-out") {
         let trace = runner.trace_run(backend.as_ref(), &network);
-        write_file(path, &trace.to_chrome_json(), "Chrome trace")?;
+        try_write_file(path, &trace.to_chrome_json(), "Chrome trace")?;
     }
     if let Some(path) = flags.get("stats") {
-        write_file(
+        try_write_file(
             path,
             &stats.snapshot_with_cache(&cache).render_json(),
             "stats snapshot",
@@ -601,7 +596,7 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
     }
     let report = crate::chaos::run_chaos(&opts);
     if let Some(path) = &trace_out {
-        write_file(path, &crate::chaos::trace_json(), "Chrome trace")?;
+        try_write_file(path, &crate::chaos::trace_json(), "Chrome trace")?;
     }
     let rendered = if json {
         report.render_json()
@@ -651,7 +646,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     sweep::set_sweep_jobs(sweep::resolve_jobs(jobs));
     let suite = pruneperf_bench::run_suite(!no_wall);
     if let Some(path) = &out {
-        write_file(path, &suite.render_json(), "benchmark report")?;
+        try_write_file(path, &suite.render_json(), "benchmark report")?;
     }
     let mut rendered = if json {
         suite.render_json()
@@ -702,6 +697,157 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<String, CliError> {
             baseline_distance: 7,
         },
     ))
+}
+
+/// Parses an optional numeric flag, defaulting when absent.
+fn numeric_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+    expected: &str,
+) -> Result<T, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("--{key} must be {expected}"))),
+    }
+}
+
+/// Renders the replay admission timeline as a Chrome trace: one lane
+/// per simulated worker, complete events spanning virtual
+/// service, zero-length events marking sheds at their arrival time.
+fn serve_timeline_trace(report: &pruneperf_serve::replay::ReplayReport, workers: usize) -> String {
+    let mut events = vec![ChromeEvent::process_name(
+        0,
+        "pruneperf serve (virtual time)",
+    )];
+    for w in 0..workers.max(1) as u64 {
+        events.push(ChromeEvent::thread_name(0, w, &format!("worker {w}")));
+    }
+    for &(id, arrival_ms, outcome) in &report.timeline {
+        let event = if outcome.admitted {
+            ChromeEvent::complete(
+                &format!("req {id}"),
+                "serve",
+                outcome.start_ms * 1000.0,
+                (outcome.finish_ms - outcome.start_ms) * 1000.0,
+                0,
+                outcome.worker as u64,
+            )
+            .arg_num("queue_depth", outcome.depth)
+            .arg_num("latency_ms", outcome.latency_ms(arrival_ms))
+        } else {
+            ChromeEvent::complete(
+                &format!("shed {id}"),
+                "serve",
+                arrival_ms * 1000.0,
+                0.0,
+                0,
+                outcome.worker as u64,
+            )
+            .arg_num("queue_depth", outcome.depth)
+            .arg_str("outcome", "shed")
+        };
+        events.push(event);
+    }
+    render_trace(&events)
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let workers = numeric_flag(flags, "workers", 4usize, "a positive integer")?;
+    let queue = numeric_flag(flags, "queue", 4usize, "a positive integer")?;
+    let service_ms = numeric_flag(flags, "service-ms", 5.0f64, "a number of milliseconds")?;
+    let cache_cap = numeric_flag(flags, "cache-cap", 4096usize, "a non-negative integer")?;
+    if !(service_ms.is_finite() && service_ms > 0.0) {
+        return Err(err("--service-ms must be a positive number"));
+    }
+
+    if let Some(path) = flags.get("replay") {
+        let trace = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read trace '{path}': {e}")))?;
+        let service = PlanService::new(cache_cap);
+        let opts = ReplayOptions {
+            workers,
+            queue_capacity: queue,
+            service_ms,
+            cache_cap,
+        };
+        let report = replay_trace_with(&trace, &opts, &service);
+        if let Some(p) = flags.get("stats") {
+            try_write_file(p, &service.stats_json(), "stats snapshot")?;
+        }
+        if let Some(p) = flags.get("trace-out") {
+            try_write_file(p, &serve_timeline_trace(&report, workers), "Chrome trace")?;
+        }
+        return Ok(report.output);
+    }
+
+    let addr = flag(flags, "addr", "127.0.0.1:7878");
+    let max_requests = match flags.get("max-requests") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| err("--max-requests must be a non-negative integer"))?,
+        ),
+    };
+    let server = Server::bind(ServerOptions {
+        addr: addr.to_string(),
+        workers,
+        queue_capacity: queue,
+        cache_cap,
+        max_requests,
+    })
+    .map_err(|e| err(format!("cannot bind '{addr}': {e}")))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| err(format!("cannot query bound address: {e}")))?;
+    let summary = server
+        .run()
+        .map_err(|e| err(format!("serve failed: {e}")))?;
+    if let Some(p) = flags.get("stats") {
+        try_write_file(p, &server.service().stats_json(), "stats snapshot")?;
+    }
+    Ok(format!(
+        "served {} connection(s) on {bound}: shed={} refused={}\n",
+        summary.accepted, summary.shed, summary.refused
+    ))
+}
+
+fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    let defaults = LoadgenOptions::default();
+    let opts = LoadgenOptions {
+        seed: numeric_flag(flags, "seed", defaults.seed, "a non-negative integer")?,
+        requests: numeric_flag(
+            flags,
+            "requests",
+            defaults.requests,
+            "a non-negative integer",
+        )?,
+        workers: numeric_flag(flags, "workers", defaults.workers, "a positive integer")?,
+        queue_capacity: numeric_flag(
+            flags,
+            "queue",
+            defaults.queue_capacity,
+            "a positive integer",
+        )?,
+        service_ms: numeric_flag(
+            flags,
+            "service-ms",
+            defaults.service_ms,
+            "a number of milliseconds",
+        )?,
+        cache_cap: numeric_flag(
+            flags,
+            "cache-cap",
+            defaults.cache_cap,
+            "a non-negative integer",
+        )?,
+    };
+    if !(opts.service_ms.is_finite() && opts.service_ms > 0.0) {
+        return Err(err("--service-ms must be a positive number"));
+    }
+    Ok(run_loadgen(&opts))
 }
 
 #[cfg(test)]
@@ -1057,5 +1203,101 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--budget"));
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_not_last_wins() {
+        let e = run(&[
+            "profile",
+            "--device",
+            "tx2",
+            "--device",
+            "nano",
+            "--network",
+            "alexnet",
+            "--layer",
+            "AlexNet.L6",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("duplicate flag --device"), "{e}");
+        let e = run(&[
+            "prune",
+            "--network",
+            "alexnet",
+            "--budget",
+            "0.8",
+            "--budget",
+            "0.5",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("duplicate flag --budget"), "{e}");
+    }
+
+    #[test]
+    fn serve_replay_answers_a_trace_on_stdout() {
+        let trace_path = scratch("serve-replay.jsonl");
+        std::fs::write(
+            &trace_path,
+            "{\"arrival_ms\":0,\"network\":\"alexnet\",\"device\":\"tx2\",\"budget\":0.8}\n\
+             {\"arrival_ms\":1,\"network\":\"alexnet\",\"device\":\"tx2\",\"budget\":0.8}\n",
+        )
+        .unwrap();
+        let stats_path = scratch("serve-replay-stats.json");
+        let trace_out = scratch("serve-replay-trace.json");
+        let out = run(&[
+            "serve",
+            "--replay",
+            &trace_path,
+            "--workers",
+            "2",
+            "--queue",
+            "4",
+            "--stats",
+            &stats_path,
+            "--trace-out",
+            &trace_out,
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"status\":\"ok\""), "{out}");
+        assert!(lines[1].contains("\"deduped\":true"), "{out}");
+        let stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert!(stats.contains("\"cache\""), "{stats}");
+        let timeline = std::fs::read_to_string(&trace_out).unwrap();
+        assert!(timeline.contains("worker 0"), "{timeline}");
+        assert!(run(&["serve", "--replay", "/nonexistent/trace.jsonl"])
+            .unwrap_err()
+            .0
+            .contains("cannot read trace"));
+    }
+
+    #[test]
+    fn serve_replay_is_jobs_invariant_from_the_cli() {
+        let trace_path = scratch("serve-replay-jobs.jsonl");
+        std::fs::write(
+            &trace_path,
+            "{\"arrival_ms\":0,\"network\":\"alexnet\",\"device\":\"tx2\",\"budget\":0.8}\n\
+             {\"arrival_ms\":0,\"network\":\"mobilenetv1\",\"device\":\"nano\",\"budget\":0.6}\n\
+             {\"arrival_ms\":0,\"network\":\"alexnet\",\"device\":\"tx2\",\"budget\":0.7,\
+              \"fault_seed\":4,\"fault_rate\":1.0}\n",
+        )
+        .unwrap();
+        let one = run(&["serve", "--replay", &trace_path, "--jobs", "1"]).unwrap();
+        let eight = run(&["serve", "--replay", &trace_path, "--jobs", "8"]).unwrap();
+        assert_eq!(one, eight);
+        assert!(one.contains("\"degraded\":true"), "{one}");
+    }
+
+    #[test]
+    fn loadgen_reports_the_drill() {
+        let out = run(&["loadgen", "--requests", "16", "--seed", "7"]).unwrap();
+        assert!(out.starts_with("loadgen seed=7 requests=16"), "{out}");
+        assert!(out.contains("virtual latency ms:"), "{out}");
+        assert!(out.contains("cache entries:"), "{out}");
+        assert!(run(&["loadgen", "--requests", "x"])
+            .unwrap_err()
+            .0
+            .contains("--requests"));
     }
 }

@@ -45,6 +45,7 @@ pub use pruneperf_core as core;
 pub use pruneperf_gpusim as gpusim;
 pub use pruneperf_models as models;
 pub use pruneperf_profiler as profiler;
+pub use pruneperf_serve as serve;
 pub use pruneperf_tensor as tensor;
 
 /// One-stop imports for the common workflow.

@@ -1,0 +1,79 @@
+//! Replay-mode golden: the serving stack's determinism contract.
+//!
+//! One checked-in trace exercises every response kind — clean plans, a
+//! statically deduplicated duplicate, an admission-control shed, a
+//! degraded plan under a fault seed, a name refusal and a parse error —
+//! and the rendered stream must be byte-identical to the golden at any
+//! `--jobs`. Regenerate with `PRUNEPERF_UPDATE_GOLDENS=1 cargo test
+//! --test serve_replay` after an intentional protocol change.
+
+use std::path::PathBuf;
+
+use pruneperf::cli::run_cli;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+fn replay(jobs: &str) -> String {
+    let trace = golden_path("serve_trace.jsonl");
+    let args: Vec<String> = [
+        "serve",
+        "--replay",
+        trace.to_str().expect("trace path is utf-8"),
+        "--workers",
+        "2",
+        "--queue",
+        "1",
+        "--service-ms",
+        "5",
+        "--jobs",
+        jobs,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run_cli(&args).expect("replay succeeds")
+}
+
+#[test]
+fn replay_stream_matches_golden_at_any_jobs() {
+    let one = replay("1");
+    let eight = replay("8");
+    assert_eq!(
+        one, eight,
+        "replay output must be byte-identical across --jobs"
+    );
+
+    let path = golden_path("serve_replay.golden.jsonl");
+    if std::env::var_os("PRUNEPERF_UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &one).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden serve_replay.golden.jsonl ({e}); \
+             run with PRUNEPERF_UPDATE_GOLDENS=1 to create it"
+        )
+    });
+    assert_eq!(
+        expected, one,
+        "serve replay golden drifted; if intentional, regenerate with \
+         PRUNEPERF_UPDATE_GOLDENS=1 cargo test --test serve_replay"
+    );
+}
+
+#[test]
+fn the_trace_covers_every_response_kind() {
+    let out = replay("2");
+    assert!(out.contains("\"status\":\"ok\""), "{out}");
+    assert!(out.contains("\"deduped\":true"), "{out}");
+    assert!(out.contains("\"status\":\"shed\""), "{out}");
+    assert!(out.contains("\"degraded\":true"), "{out}");
+    assert!(out.contains("unknown network"), "{out}");
+    assert!(out.contains("malformed request JSON"), "{out}");
+    let lines = out.lines().count();
+    assert_eq!(lines, 9, "one response per trace line:\n{out}");
+}
