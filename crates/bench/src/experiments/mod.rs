@@ -116,7 +116,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table1",
         "table2", "table3", "table4", "table5", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
-        "ext7",
+        "ext7", "ext8",
     ]
 }
 
@@ -155,6 +155,7 @@ pub fn run(id: &str) -> Option<ExperimentResult> {
         "ext5" => extensions::ext5(),
         "ext6" => extensions::ext6(),
         "ext7" => extensions::ext7(),
+        "ext8" => extensions::ext8(),
         _ => return None,
     })
 }
@@ -179,7 +180,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(all_ids().len(), 32);
+        assert_eq!(all_ids().len(), 33);
         for id in all_ids() {
             assert!(run(id).is_some(), "{id} missing");
         }

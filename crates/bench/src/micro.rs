@@ -1,6 +1,6 @@
 //! The `pruneperf bench` micro-benchmark suite (PR 5).
 //!
-//! Five fixed benchmarks exercise the hot paths of the simulation stack:
+//! Six fixed benchmarks exercise the hot paths of the simulation stack:
 //!
 //! 1. **cache_hit** — repeated lookups against a warmed latency cache;
 //! 2. **cold_sweep** — a full channel sweep of ResNet-50 L16 with an
@@ -9,7 +9,10 @@
 //! 4. **gemm_split_plan** — ACL GEMM dispatch planning across every
 //!    channel count, including the split-kernel tail shapes;
 //! 5. **resnet50_full** — one whole-network run through
-//!    [`NetworkRunner`].
+//!    [`NetworkRunner`];
+//! 6. **search_beam_small** (PR 10) — the whole-network beam search on
+//!    the micro network, cold then warm against one cache; the warm-pass
+//!    engine deltas gate at zero.
 //!
 //! Each benchmark reports two kinds of numbers:
 //!
@@ -21,7 +24,7 @@
 //!   costs, and `kernel_memo_hits` counts per-kernel queries answered
 //!   without the engine. These are byte-identical on every machine and at
 //!   every `--jobs` count, so CI diffs them against a checked-in baseline
-//!   (`BENCH_PR6.json`) and fails on any drift;
+//!   (`BENCH_PR10.json`) and fails on any drift;
 //! * **wall-clock stats** — warmup plus median-of-N real time via
 //!   `Instant` (legal here: the bench crate is outside the determinism
 //!   lint scope). These are informational only and never participate in
@@ -35,6 +38,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pruneperf_backends::{AclGemm, ConvBackend};
+use pruneperf_core::accuracy::AccuracyModel;
+use pruneperf_core::search::{search, SearchAlgo, SearchConfig};
 use pruneperf_core::Staircase;
 use pruneperf_gpusim::Device;
 use pruneperf_models::{resnet50, ConvLayerSpec};
@@ -339,6 +344,68 @@ fn bench_resnet50_full(wall: bool) -> BenchResult {
     }
 }
 
+/// Benchmark 6 (PR 10): the whole-network beam search on the three-layer
+/// micro network, run twice against the same cache.
+///
+/// The cold pass exercises the search engine plus the batched evaluation
+/// path; the warm pass must answer *every* measurement from the latency
+/// cache — `warm_engine_runs` and `warm_chains_assembled` are the deltas
+/// across the second pass and gate at exactly zero. The search counters
+/// themselves (candidates evaluated, front size, dominated) are
+/// schedule-free and identical across passes.
+fn bench_search_beam_small(wall: bool) -> BenchResult {
+    let device = hikey();
+    let backend = AclGemm::new();
+    let network = pruneperf_core::testkit::micro_net();
+    let config = SearchConfig {
+        algo: SearchAlgo::Beam,
+        seed: 1,
+        beam_width: 16,
+        generations: 12,
+    };
+    let workload = || {
+        let cache = Arc::new(LatencyCache::new());
+        let profiler = LayerProfiler::noiseless(&device).with_cache(Arc::clone(&cache));
+        let accuracy = AccuracyModel::for_network(&network);
+        let cold = search(&profiler, &accuracy, &backend, &network, &config);
+        let cold_engine = cache.engine_stats();
+        let warm = search(&profiler, &accuracy, &backend, &network, &config);
+        let warm_engine = cache.engine_stats();
+        (cold, warm, cold_engine, warm_engine)
+    };
+    let (cold, warm, cold_engine, warm_engine) = workload();
+    debug_assert_eq!(cold.evaluated, warm.evaluated);
+    let metrics = vec![
+        ("candidates", Metric::Count(cold.evaluated)),
+        ("front", Metric::Count(cold.archived as u64)),
+        ("dominated", Metric::Count(cold.dominated)),
+        ("rounds", Metric::Count(cold.rounds)),
+        ("best_ms", Metric::Float(cold.plans[0].latency_ms())),
+        ("cold_engine_runs", Metric::Count(cold_engine.engine_runs)),
+        (
+            "cold_chains_assembled",
+            Metric::Count(cold_engine.chains_assembled),
+        ),
+        (
+            "warm_engine_runs",
+            Metric::Count(warm_engine.engine_runs - cold_engine.engine_runs),
+        ),
+        (
+            "warm_chains_assembled",
+            Metric::Count(warm_engine.chains_assembled - cold_engine.chains_assembled),
+        ),
+    ];
+    BenchResult {
+        name: "search_beam_small",
+        metrics,
+        wall: wall.then(|| {
+            time_wall(|| {
+                workload();
+            })
+        }),
+    }
+}
+
 /// Runs the whole suite. With `wall` off the result carries only
 /// deterministic metrics, so two renderings compare byte-for-byte.
 pub fn run_suite(wall: bool) -> BenchSuite {
@@ -349,6 +416,7 @@ pub fn run_suite(wall: bool) -> BenchSuite {
             bench_staircase_detect(wall),
             bench_gemm_split_plan(wall),
             bench_resnet50_full(wall),
+            bench_search_beam_small(wall),
         ],
     }
 }
@@ -553,7 +621,7 @@ mod tests {
     }
 
     #[test]
-    fn suite_covers_all_five_benchmarks_in_order() {
+    fn suite_covers_all_six_benchmarks_in_order() {
         let suite = run_suite(false);
         let names: Vec<&str> = suite.results().iter().map(|r| r.name).collect();
         assert_eq!(
@@ -563,10 +631,37 @@ mod tests {
                 "cold_sweep",
                 "staircase_detect",
                 "gemm_split_plan",
-                "resnet50_full"
+                "resnet50_full",
+                "search_beam_small"
             ]
         );
         assert!(suite.results().iter().all(|r| r.wall.is_none()));
+    }
+
+    #[test]
+    fn warm_search_pass_never_touches_the_engine() {
+        let suite = run_suite(false);
+        let (Metric::Count(warm_runs), Metric::Count(warm_chains), Metric::Count(cold_runs)) = (
+            metric(&suite, "search_beam_small", "warm_engine_runs"),
+            metric(&suite, "search_beam_small", "warm_chains_assembled"),
+            metric(&suite, "search_beam_small", "cold_engine_runs"),
+        ) else {
+            panic!("search_beam_small engine metrics must be counts");
+        };
+        let Metric::Count(cold_chains) =
+            metric(&suite, "search_beam_small", "cold_chains_assembled")
+        else {
+            panic!("cold_chains_assembled must be a count");
+        };
+        assert_eq!(warm_runs, 0, "warm search must be fully cached");
+        assert_eq!(warm_chains, 0, "warm search must not re-assemble chains");
+        // The incremental path may satisfy the cold pass without a single
+        // full engine run; either way the cold pass built real costs.
+        assert!(cold_runs + cold_chains > 0, "cold search did no work");
+        let Metric::Count(candidates) = metric(&suite, "search_beam_small", "candidates") else {
+            panic!("candidates must be a count");
+        };
+        assert!(candidates > 0);
     }
 
     #[test]
@@ -599,7 +694,7 @@ mod tests {
             .get("benchmarks")
             .and_then(|b| b.as_array())
             .expect("benchmarks array");
-        assert_eq!(benchmarks.len(), 5);
+        assert_eq!(benchmarks.len(), 6);
         assert!(benchmarks.iter().all(|b| b.get("wall").is_none()));
         assert!(!dry.contains("median_ns"));
 

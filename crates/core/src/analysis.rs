@@ -257,19 +257,10 @@ pub fn slowdown_table(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit::analysis_net as tiny_net;
     use pruneperf_backends::{AclGemm, Cudnn};
     use pruneperf_gpusim::Device;
     use pruneperf_models::{alexnet, ConvLayerSpec, Network};
-
-    fn tiny_net() -> Network {
-        Network::new(
-            "Tiny",
-            vec![
-                ConvLayerSpec::new("T.L0", 3, 1, 1, 16, 64, 14, 14),
-                ConvLayerSpec::new("T.L1", 1, 1, 0, 64, 96, 14, 14),
-            ],
-        )
-    }
 
     #[test]
     fn speedup_rows_are_monotone_nondecreasing() {

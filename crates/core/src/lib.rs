@@ -21,7 +21,10 @@
 //! * [`accuracy`] — a deterministic accuracy surrogate standing in for the
 //!   retraining loop (see `DESIGN.md` §2 for the substitution argument);
 //! * [`PerfAwarePruner`] — the profiling-in-the-loop pruning algorithm,
-//!   with [`UninstructedPruner`] as the accuracy-only baseline it beats.
+//!   with [`UninstructedPruner`] as the accuracy-only baseline it beats;
+//! * [`search`] — whole-network multi-objective search (exhaustive, beam,
+//!   evolutionary) over the joint per-layer staircase candidates, with a
+//!   [`search::ParetoArchive`] maintaining the 3-D non-dominated front.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@ pub mod search;
 pub mod sensitivity;
 pub mod shootout;
 mod staircase;
+pub mod testkit;
 
 pub use pareto::pareto_front;
 pub use pruner::{PerfAwarePruner, PruningPlan, UninstructedPruner};

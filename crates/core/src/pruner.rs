@@ -25,6 +25,33 @@ pub struct PruningPlan {
 }
 
 impl PruningPlan {
+    /// Assembles a plan from already-measured parts. Crate-internal: only
+    /// the pruners and the whole-network search construct plans, and both
+    /// are required to have measured `(latency, energy, accuracy)` through
+    /// the same profiler paths the accessors document.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        policy: &str,
+        backend: &str,
+        device: &str,
+        network: &str,
+        kept: HashMap<String, usize>,
+        latency_ms: f64,
+        energy_mj: f64,
+        accuracy: f64,
+    ) -> Self {
+        PruningPlan {
+            policy: policy.to_string(),
+            backend: backend.to_string(),
+            device: device.to_string(),
+            network: network.to_string(),
+            kept,
+            latency_ms,
+            energy_mj,
+            accuracy,
+        }
+    }
+
     /// Policy that produced the plan (`"performance-aware"` / `"uninstructed"`).
     pub fn policy(&self) -> &str {
         &self.policy
@@ -461,28 +488,12 @@ impl<'a> UninstructedPruner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit::tiny_net;
     use pruneperf_backends::{AclDirect, AclGemm};
     use pruneperf_gpusim::Device;
-    use pruneperf_models::ConvLayerSpec;
-
-    /// Two mid-size layers so GPU time dominates fixed dispatch overhead
-    /// (tiny layers are overhead-bound and cannot meet aggressive budgets,
-    /// which is correct but not what these tests probe).
-    fn tiny_net() -> Network {
-        Network::new(
-            "Tiny",
-            vec![
-                ConvLayerSpec::new("T.L0", 3, 1, 1, 128, 128, 28, 28),
-                ConvLayerSpec::new("T.L1", 1, 1, 0, 128, 256, 28, 28),
-            ],
-        )
-    }
 
     fn setup(device: &Device) -> (LayerProfiler, AccuracyModel) {
-        (
-            LayerProfiler::noiseless(device),
-            AccuracyModel::for_network(&tiny_net()),
-        )
+        crate::testkit::noiseless_setup(&tiny_net(), device)
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! is fast but not provably optimal. For networks with few layers the
 //! candidate space — the cross product of each layer's staircase optimal
 //! points — is small enough to enumerate, giving (a) ground truth to
-//! validate the greedy against and (b) an exact solver users can run on
-//! sub-networks they care about.
+//! validate the greedy and beam searches against and (b) an exact solver
+//! users can run on sub-networks they care about.
 
 use std::collections::HashMap;
 
@@ -13,8 +13,8 @@ use pruneperf_backends::ConvBackend;
 use pruneperf_models::Network;
 use pruneperf_profiler::LayerProfiler;
 
+use super::SearchSpace;
 use crate::accuracy::AccuracyModel;
-use crate::PerfAwarePruner;
 
 /// An exhaustively-found pruning configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +36,8 @@ pub struct ExactPlan {
 /// # Panics
 ///
 /// Panics if the candidate cross product exceeds `max_configs` — this is an
-/// exact solver for *small* problems; use [`PerfAwarePruner`] otherwise.
+/// exact solver for *small* problems; use [`crate::PerfAwarePruner`] or
+/// [`super::search`] otherwise.
 pub fn exhaustive_prune_to_latency(
     profiler: &LayerProfiler,
     accuracy: &AccuracyModel,
@@ -45,18 +46,8 @@ pub fn exhaustive_prune_to_latency(
     budget_fraction: f64,
     max_configs: usize,
 ) -> Option<ExactPlan> {
-    // Candidate ladders: staircase optimal points plus the unpruned count.
-    let pruner = PerfAwarePruner::new(profiler, accuracy);
-    let mut ladders: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
-    for layer in network.layers() {
-        let mut cands = pruner.candidates_for(backend, layer);
-        let full_ms = profiler.measure(backend, layer).median_ms();
-        if !cands.iter().any(|&(c, _)| c == layer.c_out()) {
-            cands.push((layer.c_out(), full_ms));
-        }
-        ladders.push((layer.label().to_string(), cands));
-    }
-    let total_configs: usize = ladders.iter().map(|(_, c)| c.len()).product();
+    let space = SearchSpace::build_for(profiler, accuracy, backend, network);
+    let total_configs = space.total_configs();
     assert!(
         total_configs <= max_configs,
         "{total_configs} configurations exceed the exhaustive-search cap {max_configs}"
@@ -69,18 +60,15 @@ pub fn exhaustive_prune_to_latency(
         .sum();
     let budget = unpruned_ms * budget_fraction;
 
-    // Iterate the cross product with an odometer.
-    let mut indices = vec![0usize; ladders.len()];
     let mut best: Option<ExactPlan> = None;
-    loop {
-        let mut kept = HashMap::new();
-        let mut latency = 0.0;
-        for (slot, (label, cands)) in indices.iter().zip(&ladders) {
-            let (c, ms) = cands[*slot];
-            kept.insert(label.clone(), c);
-            latency += ms;
-        }
+    for genome in space.enumerate_within(max_configs) {
+        let latency: f64 = genome
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| space.ladder(i)[slot].1)
+            .sum();
         if latency <= budget {
+            let kept = space.kept_map(&genome);
             let acc = accuracy.accuracy_with(&kept);
             if best.as_ref().is_none_or(|b| acc > b.accuracy) {
                 best = Some(ExactPlan {
@@ -90,56 +78,26 @@ pub fn exhaustive_prune_to_latency(
                 });
             }
         }
-        // Advance the odometer.
-        let mut i = 0;
-        loop {
-            if i == indices.len() {
-                return best;
-            }
-            indices[i] += 1;
-            if indices[i] < ladders[i].1.len() {
-                break;
-            }
-            indices[i] = 0;
-            i += 1;
-        }
     }
+    best
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit;
+    use crate::PerfAwarePruner;
     use pruneperf_backends::AclGemm;
     use pruneperf_gpusim::Device;
-    use pruneperf_models::ConvLayerSpec;
-
-    /// Mid-size layers so GPU work dominates fixed dispatch overhead and
-    /// aggressive latency budgets are actually reachable.
-    fn tiny_net() -> Network {
-        Network::new(
-            "Tiny",
-            vec![
-                ConvLayerSpec::new("T.L0", 3, 1, 1, 128, 128, 28, 28),
-                ConvLayerSpec::new("T.L1", 1, 1, 0, 128, 256, 28, 28),
-            ],
-        )
-    }
-
-    fn setup(d: &Device) -> (LayerProfiler, AccuracyModel) {
-        (
-            LayerProfiler::noiseless(d),
-            AccuracyModel::for_network(&tiny_net()),
-        )
-    }
 
     #[test]
     fn exact_plan_meets_budget_and_dominates_nothing_better() {
         let d = Device::mali_g72_hikey970();
-        let (p, a) = setup(&d);
+        let net = testkit::tiny_net();
+        let (p, a) = testkit::noiseless_setup(&net, &d);
         let backend = AclGemm::new();
-        let exact =
-            exhaustive_prune_to_latency(&p, &a, &backend, &tiny_net(), 0.8, 10_000).unwrap();
-        let unpruned: f64 = tiny_net()
+        let exact = exhaustive_prune_to_latency(&p, &a, &backend, &net, 0.8, 10_000).unwrap();
+        let unpruned: f64 = net
             .layers()
             .iter()
             .map(|l| p.measure(&backend, l).median_ms())
@@ -153,9 +111,9 @@ mod tests {
     #[test]
     fn greedy_is_near_optimal_on_small_networks() {
         let d = Device::mali_g72_hikey970();
-        let (p, a) = setup(&d);
+        let net = testkit::tiny_net();
+        let (p, a) = testkit::noiseless_setup(&net, &d);
         let backend = AclGemm::new();
-        let net = tiny_net();
         for budget in [0.9, 0.8, 0.7, 0.6] {
             let Some(exact) = exhaustive_prune_to_latency(&p, &a, &backend, &net, budget, 10_000)
             else {
@@ -180,9 +138,9 @@ mod tests {
     #[test]
     fn impossible_budget_returns_none() {
         let d = Device::mali_g72_hikey970();
-        let (p, a) = setup(&d);
-        let exact =
-            exhaustive_prune_to_latency(&p, &a, &AclGemm::new(), &tiny_net(), 0.0001, 10_000);
+        let net = testkit::tiny_net();
+        let (p, a) = testkit::noiseless_setup(&net, &d);
+        let exact = exhaustive_prune_to_latency(&p, &a, &AclGemm::new(), &net, 0.0001, 10_000);
         assert!(exact.is_none());
     }
 
@@ -190,7 +148,8 @@ mod tests {
     #[should_panic(expected = "exceed the exhaustive-search cap")]
     fn config_cap_is_enforced() {
         let d = Device::mali_g72_hikey970();
-        let (p, a) = setup(&d);
-        let _ = exhaustive_prune_to_latency(&p, &a, &AclGemm::new(), &tiny_net(), 0.8, 2);
+        let net = testkit::tiny_net();
+        let (p, a) = testkit::noiseless_setup(&net, &d);
+        let _ = exhaustive_prune_to_latency(&p, &a, &AclGemm::new(), &net, 0.8, 2);
     }
 }

@@ -1,0 +1,255 @@
+//! Whole-network pruning-plan search.
+//!
+//! The §V loop ([`crate::PerfAwarePruner`]) trades one layer at a time
+//! against a single budget. This module searches the *joint* space of
+//! per-layer kept-channel configurations instead, with three solvers that
+//! share one candidate space and one evaluator:
+//!
+//! - [`exhaustive_prune_to_latency`] — exact enumeration for small
+//!   networks (ground truth for the others);
+//! - [`search`] with [`SearchAlgo::Beam`] — seeded beam search expanding
+//!   one ladder step per round;
+//! - [`search`] with [`SearchAlgo::Evolve`] — seeded (μ+λ) evolutionary
+//!   search with pure-hash mutation.
+//!
+//! All of them walk [`SearchSpace`] ladders (each layer's staircase
+//! optimal points plus the unpruned count) and score candidates through
+//! the shared [`LayerProfiler`] cache, so evaluating a plan costs cache
+//! lookups, not engine runs. Every random-looking choice — tie-breaking,
+//! parent selection, mutation — is a splitmix64 hash of `(seed, position)`
+//! with no RNG state and no clocks, so results are a pure function of
+//! `(inputs, seed)` at any `--jobs` count.
+
+mod archive;
+mod engine;
+mod exhaustive;
+
+pub use archive::{ParetoArchive, ParetoPoint};
+pub use engine::{search, SearchAlgo, SearchConfig, SearchOutcome};
+pub use exhaustive::{exhaustive_prune_to_latency, ExactPlan};
+
+use std::collections::HashMap;
+
+use pruneperf_backends::ConvBackend;
+use pruneperf_models::{ConvLayerSpec, Network};
+use pruneperf_profiler::{sweep, LayerProfiler};
+
+use crate::accuracy::AccuracyModel;
+use crate::PerfAwarePruner;
+
+/// The joint candidate space: one ladder of `(kept_channels, latency_ms)`
+/// pairs per layer, in catalog (network) order.
+///
+/// Each ladder is the layer's staircase optimal points (ascending kept
+/// count) with the unpruned channel count appended when the staircase did
+/// not already surface it. A *genome* is one ladder index per layer; the
+/// unpruned network is [`SearchSpace::full_genome`].
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    layers: Vec<(String, Vec<(usize, f64)>)>,
+}
+
+impl SearchSpace {
+    /// Builds the ladders for `network` under `backend`.
+    pub fn build_for(
+        profiler: &LayerProfiler,
+        accuracy: &AccuracyModel,
+        backend: &dyn ConvBackend,
+        network: &Network,
+    ) -> SearchSpace {
+        let pruner = PerfAwarePruner::new(profiler, accuracy);
+        let mut layers: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+        for layer in network.layers() {
+            let mut cands = pruner.candidates_for(backend, layer);
+            let full_ms = profiler.measure(backend, layer).median_ms();
+            if !cands.iter().any(|&(c, _)| c == layer.c_out()) {
+                cands.push((layer.c_out(), full_ms));
+            }
+            layers.push((layer.label().to_string(), cands));
+        }
+        SearchSpace { layers }
+    }
+
+    /// Number of layers (genome length).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The candidate ladder for layer `i`, ascending in kept channels.
+    pub fn ladder(&self, i: usize) -> &[(usize, f64)] {
+        &self.layers[i].1
+    }
+
+    /// The label of layer `i`.
+    pub fn label_of(&self, i: usize) -> &str {
+        &self.layers[i].0
+    }
+
+    /// Size of the full cross product.
+    pub fn total_configs(&self) -> usize {
+        self.layers.iter().map(|(_, c)| c.len()).product()
+    }
+
+    /// The genome selecting every layer's unpruned point.
+    pub fn full_genome(&self) -> Vec<usize> {
+        self.layers.iter().map(|(_, c)| c.len() - 1).collect()
+    }
+
+    /// Kept-channel map for a genome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome length or any index is out of range.
+    pub fn kept_map(&self, genome: &[usize]) -> HashMap<String, usize> {
+        assert_eq!(genome.len(), self.layers.len(), "genome length mismatch");
+        genome
+            .iter()
+            .zip(&self.layers)
+            .map(|(&slot, (label, cands))| (label.clone(), cands[slot].0))
+            .collect()
+    }
+
+    /// Every genome in the cross product, odometer order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space exceeds `max_configs` — enumeration is for
+    /// small differential-test fixtures only.
+    pub fn enumerate_within(&self, max_configs: usize) -> Vec<Vec<usize>> {
+        let total = self.total_configs();
+        assert!(
+            total <= max_configs,
+            "{total} configurations exceed the enumeration cap {max_configs}"
+        );
+        let mut out = Vec::with_capacity(total);
+        let mut indices = vec![0usize; self.layers.len()];
+        loop {
+            out.push(indices.clone());
+            let mut i = 0;
+            loop {
+                if i == indices.len() {
+                    return out;
+                }
+                indices[i] += 1;
+                if indices[i] < self.layers[i].1.len() {
+                    break;
+                }
+                indices[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Scores `genomes` in deterministic order: per-layer latencies come from
+/// the cache's batched costing path (so a warm cache answers without any
+/// engine run), energies from the same cache entries, accuracy from the
+/// surrogate. The fan-out preserves input order, so the result is
+/// byte-identical at any worker count `jobs`.
+pub fn evaluate_genomes(
+    profiler: &LayerProfiler,
+    accuracy: &AccuracyModel,
+    backend: &dyn ConvBackend,
+    network: &Network,
+    space: &SearchSpace,
+    genomes: &[Vec<usize>],
+    jobs: usize,
+) -> Vec<ParetoPoint> {
+    // lint: allow(hot-root) — the per-genome closure costs through `measure_batch`, already audited as a hot root; the wrapper adds no serving loop of its own
+    sweep::ordered_parallel_map(genomes, jobs, |genome| {
+        let specs: Vec<ConvLayerSpec> = network
+            .layers()
+            .iter()
+            .zip(genome.iter().enumerate())
+            .map(|(layer, (i, &slot))| {
+                let kept = space.ladder(i)[slot].0;
+                // lint: allow(unwrap) — ladder entries come from the layer's own staircase
+                layer.with_c_out(kept).expect("ladder count validated")
+            })
+            .collect();
+        let latency_ms: f64 = profiler
+            .measure_batch(backend, &specs)
+            .iter()
+            .map(|m| m.median_ms())
+            .sum();
+        let energy_mj: f64 = specs.iter().map(|s| profiler.energy_mj(backend, s)).sum();
+        let acc = accuracy.accuracy_with(&space.kept_map(genome));
+        ParetoPoint {
+            latency_ms,
+            energy_mj,
+            accuracy: acc,
+        }
+    })
+}
+
+/// The splitmix64 finalizer: a bijective avalanche mix. All search
+/// tie-breaking and mutation decisions hash `(seed, position)` through
+/// this, so there is no RNG state to share and no iteration-order
+/// dependence.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Folds a sequence of words into one hash via repeated splitmix rounds.
+pub(crate) fn mix(parts: &[u64]) -> u64 {
+    parts
+        .iter()
+        .fold(0x9e37_79b9_7f4a_7c15u64, |h, &p| splitmix64(h ^ p))
+}
+
+/// Hash of a genome for tie-breaking, keyed by the search seed.
+pub(crate) fn genome_hash(seed: u64, genome: &[usize]) -> u64 {
+    genome
+        .iter()
+        .fold(splitmix64(seed), |h, &g| splitmix64(h ^ g as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use pruneperf_backends::AclGemm;
+    use pruneperf_gpusim::Device;
+
+    #[test]
+    fn space_matches_network_shape_and_enumerates_fully() {
+        let net = testkit::tiny_net();
+        let d = Device::mali_g72_hikey970();
+        let (p, a) = testkit::noiseless_setup(&net, &d);
+        let space = SearchSpace::build_for(&p, &a, &AclGemm::new(), &net);
+        assert_eq!(space.num_layers(), net.len());
+        let all = space.enumerate_within(100_000);
+        assert_eq!(all.len(), space.total_configs());
+        assert_eq!(all.last().unwrap(), &space.full_genome());
+    }
+
+    #[test]
+    fn evaluation_is_schedule_independent() {
+        let net = testkit::tiny_net();
+        let d = Device::jetson_nano();
+        let (p, a) = testkit::noiseless_setup(&net, &d);
+        let backend = AclGemm::new();
+        let space = SearchSpace::build_for(&p, &a, &backend, &net);
+        let genomes = space.enumerate_within(100_000);
+        let one = evaluate_genomes(&p, &a, &backend, &net, &space, &genomes, 1);
+        let eight = evaluate_genomes(&p, &a, &backend, &net, &space, &genomes, 8);
+        assert_eq!(one.len(), eight.len());
+        for (x, y) in one.iter().zip(&eight) {
+            assert_eq!(x.latency_ms.to_bits(), y.latency_ms.to_bits());
+            assert_eq!(x.energy_mj.to_bits(), y.energy_mj.to_bits());
+            assert_eq!(x.accuracy.to_bits(), y.accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Pin a few values so the tie-break function can never drift
+        // silently (goldens depend on it transitively).
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+        assert_ne!(mix(&[1, 2]), mix(&[2, 1]));
+    }
+}

@@ -1,9 +1,68 @@
 //! Property-based invariants of the staircase analysis, Pareto utilities
-//! and heatmap construction.
+//! (both the 2-D `pareto_front` and the 3-D `ParetoArchive`) and heatmap
+//! construction.
 
 use proptest::prelude::*;
+use pruneperf_core::search::{ParetoArchive, ParetoPoint};
 use pruneperf_core::{pareto_front, Staircase};
 use pruneperf_profiler::{CurvePoint, LatencyCurve, Measurement};
+
+/// Continuous objective triples — collisions essentially never happen.
+fn point_strategy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.1f64..100.0, 0.1f64..50.0, 0.0f64..1.0)
+}
+
+/// Coarse grid triples — duplicates and dominations are plentiful, which
+/// is what exercises the tie/conservation accounting.
+fn grid_point_strategy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0u8..5, 0u8..5, 0u8..5).prop_map(|(l, e, a)| (l as f64 + 1.0, e as f64 + 1.0, a as f64 / 4.0))
+}
+
+fn pt(t: (f64, f64, f64)) -> ParetoPoint {
+    ParetoPoint {
+        latency_ms: t.0,
+        energy_mj: t.1,
+        accuracy: t.2,
+    }
+}
+
+/// Inserts `(payload, triple)` pairs and returns the archive.
+fn archive_of(pairs: &[(usize, (f64, f64, f64))]) -> ParetoArchive<usize> {
+    let mut archive = ParetoArchive::new();
+    for &(payload, triple) in pairs {
+        archive.offer(pt(triple), payload);
+    }
+    archive
+}
+
+fn entry_bits(archive: &ParetoArchive<usize>) -> Vec<(u64, u64, u64, usize)> {
+    archive
+        .entries()
+        .iter()
+        .map(|(p, t)| {
+            (
+                p.latency_ms.to_bits(),
+                p.energy_mj.to_bits(),
+                p.accuracy.to_bits(),
+                *t,
+            )
+        })
+        .collect()
+}
+
+/// Seeded Fisher–Yates via a splitmix-style hash (the vendored proptest
+/// has no `prop_shuffle`).
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    let mut state = seed;
+    for i in (1..out.len()).rev() {
+        state = state
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        out.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    out
+}
 
 fn curve_strategy() -> impl Strategy<Value = LatencyCurve> {
     proptest::collection::vec(0.1f64..100.0, 2..120).prop_map(|ms| {
@@ -117,5 +176,135 @@ proptest! {
         for w in front.windows(2) {
             prop_assert!(cands[w[0]].0 <= cands[w[1]].0);
         }
+    }
+
+    /// No archived point ever dominates another archived point.
+    #[test]
+    fn archive_front_is_mutually_nondominated(
+        triples in proptest::collection::vec(grid_point_strategy(), 0..60)
+    ) {
+        let pairs: Vec<(usize, (f64, f64, f64))> =
+            triples.into_iter().enumerate().collect();
+        let archive = archive_of(&pairs);
+        for (i, (p, _)) in archive.entries().iter().enumerate() {
+            for (j, (q, _)) in archive.entries().iter().enumerate() {
+                if i != j {
+                    prop_assert!(!p.dominates(q), "entry {i} dominates entry {j}");
+                }
+            }
+        }
+    }
+
+    /// Counter conservation: inserted == archived + dominated + duplicates.
+    #[test]
+    fn archive_counters_are_conserved(
+        triples in proptest::collection::vec(grid_point_strategy(), 0..60)
+    ) {
+        let pairs: Vec<(usize, (f64, f64, f64))> =
+            triples.into_iter().enumerate().collect();
+        let archive = archive_of(&pairs);
+        prop_assert_eq!(archive.inserted(), pairs.len() as u64);
+        prop_assert_eq!(
+            archive.inserted(),
+            archive.len() as u64 + archive.dominated() + archive.duplicates()
+        );
+    }
+
+    /// With continuous objective triples, bit-exact collisions never
+    /// happen: the duplicate counter stays zero and conservation reduces
+    /// to archived + dominated.
+    #[test]
+    fn archive_of_continuous_points_never_counts_duplicates(
+        triples in proptest::collection::vec(point_strategy(), 0..60)
+    ) {
+        let pairs: Vec<(usize, (f64, f64, f64))> =
+            triples.into_iter().enumerate().collect();
+        let archive = archive_of(&pairs);
+        prop_assert_eq!(archive.duplicates(), 0);
+        prop_assert_eq!(
+            archive.inserted(),
+            archive.len() as u64 + archive.dominated()
+        );
+    }
+
+    /// The final archive — points, payloads and their canonical order — is
+    /// invariant under any permutation of the same insertions. (How a
+    /// rejected point is *classified* may depend on order; the final state
+    /// never does.)
+    #[test]
+    fn archive_is_permutation_invariant(
+        triples in proptest::collection::vec(grid_point_strategy(), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let original: Vec<(usize, (f64, f64, f64))> =
+            triples.into_iter().enumerate().collect();
+        let permuted = shuffled(&original, seed);
+        let a = archive_of(&original);
+        let b = archive_of(&permuted);
+        prop_assert_eq!(entry_bits(&a), entry_bits(&b));
+        prop_assert_eq!(
+            a.len() as u64 + a.dominated() + a.duplicates(),
+            b.len() as u64 + b.dominated() + b.duplicates()
+        );
+    }
+
+    /// Duplicate objective triples deterministically keep the smallest
+    /// payload among everything offered with that triple.
+    #[test]
+    fn archive_duplicate_ties_keep_the_smallest_payload(
+        triples in proptest::collection::vec(grid_point_strategy(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        // Offer every triple twice with distinct payloads, in a seeded
+        // permutation.
+        let doubled: Vec<(usize, (f64, f64, f64))> = triples
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &t)| [(2 * i + 1, t), (2 * i, t)])
+            .collect();
+        let pairs = shuffled(&doubled, seed);
+        let archive = archive_of(&pairs);
+        for (p, payload) in archive.entries() {
+            let min = pairs
+                .iter()
+                .filter(|(_, t)| {
+                    t.0.to_bits() == p.latency_ms.to_bits()
+                        && t.1.to_bits() == p.energy_mj.to_bits()
+                        && t.2.to_bits() == p.accuracy.to_bits()
+                })
+                .map(|(i, _)| *i)
+                .min()
+                .expect("archived point was offered");
+            prop_assert_eq!(*payload, min);
+        }
+    }
+
+    /// With energy held constant the 3-D archive front collapses to the
+    /// 2-D `pareto_front` over (latency, accuracy).
+    #[test]
+    fn archive_agrees_with_pareto_front_in_two_dimensions(
+        cands in proptest::collection::vec((0.1f64..100.0, 0.0f64..1.0), 0..40)
+    ) {
+        let mut archive = ParetoArchive::new();
+        for (i, &(lat, acc)) in cands.iter().enumerate() {
+            archive.offer(
+                pt((lat, 1.0, acc)),
+                i,
+            );
+        }
+        let mut from_archive: Vec<(u64, u64)> = archive
+            .entries()
+            .iter()
+            .map(|(p, _)| (p.latency_ms.to_bits(), p.accuracy.to_bits()))
+            .collect();
+        let mut from_front: Vec<(u64, u64)> = pareto_front(&cands)
+            .into_iter()
+            .map(|i| (cands[i].0.to_bits(), cands[i].1.to_bits()))
+            .collect();
+        from_archive.sort_unstable();
+        from_archive.dedup();
+        from_front.sort_unstable();
+        from_front.dedup();
+        prop_assert_eq!(from_archive, from_front);
     }
 }

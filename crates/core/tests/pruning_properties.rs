@@ -6,9 +6,9 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 use pruneperf_backends::{AclGemm, Cudnn};
 use pruneperf_core::accuracy::AccuracyModel;
-use pruneperf_core::{analysis, PerfAwarePruner, UninstructedPruner};
+use pruneperf_core::{analysis, testkit, PerfAwarePruner, UninstructedPruner};
 use pruneperf_gpusim::Device;
-use pruneperf_models::{ConvLayerSpec, Network};
+use pruneperf_models::Network;
 use pruneperf_profiler::LayerProfiler;
 
 fn network_strategy() -> impl Strategy<Value = Network> {
@@ -21,17 +21,7 @@ fn network_strategy() -> impl Strategy<Value = Network> {
         ),
         1..4,
     )
-    .prop_map(|layers| {
-        let specs = layers
-            .into_iter()
-            .enumerate()
-            .map(|(i, (k, hw, ci, co))| {
-                let pad = if k == 3 { 1 } else { 0 };
-                ConvLayerSpec::new(format!("P.L{i}"), k, 1, pad, ci, co, hw, hw)
-            })
-            .collect();
-        Network::new("Prop", specs)
-    })
+    .prop_map(|layers| testkit::prop_network(&layers))
 }
 
 proptest! {

@@ -40,6 +40,34 @@ use crate::incremental::{EngineStats, KernelMemo};
 /// sweep engine runs with.
 const SHARDS: usize = 16;
 
+/// Magic token that opens every persist file.
+const PERSIST_HEADER: &str = "pruneperf-latency-cache";
+
+/// Persist-format version; bumped on any byte-layout change.
+const PERSIST_VERSION: u32 = 1;
+
+/// A parse/validation failure from [`LatencyCache::reload`], carrying the
+/// 1-based line number of the offending input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheReloadError {
+    /// 1-based line number in the persist file.
+    pub line: usize,
+    /// What the line failed to satisfy.
+    pub message: String,
+}
+
+impl fmt::Display for CacheReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache reload failed at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for CacheReloadError {}
+
 /// One memo-table key: which planner, on which device, for which layer.
 ///
 /// The backend contributes its [`ConvBackend::fingerprint`] rather than its
@@ -745,6 +773,186 @@ impl LatencyCache {
         self.engine_runs.store(0, Ordering::Relaxed);
         self.kernel_lookups.store(0, Ordering::Relaxed);
     }
+
+    /// Serializes every memoized entry to the versioned persist format.
+    ///
+    /// The format is line-oriented and **byte-stable**: a header
+    /// (`pruneperf-latency-cache v1 entries=N`) followed by one
+    /// tab-separated line per entry in `(digest, key)` order — the same
+    /// structural total order the bounded-eviction policy uses — with both
+    /// cost floats rendered as big-endian `f64::to_bits` hex. Persisting
+    /// the same entry *set* therefore always produces the same bytes,
+    /// regardless of insertion order, thread schedule or whether the cache
+    /// was itself restored from a persist file.
+    pub fn persist(&self) -> String {
+        let mut entries: Vec<(u64, CacheKey, (f64, f64))> = Vec::new();
+        for shard in &self.shards {
+            let table = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (&digest, bucket) in table.iter() {
+                for (key, value) in bucket {
+                    entries.push((digest, key.clone(), *value));
+                }
+            }
+        }
+        entries.sort_by(|(da, ka, _), (db, kb, _)| da.cmp(db).then_with(|| ka.order_cmp(kb)));
+        let mut out = format!(
+            "{PERSIST_HEADER} v{PERSIST_VERSION} entries={}\n",
+            entries.len()
+        );
+        for (_, key, (ms, mj)) in &entries {
+            let l = &key.layer;
+            out.push_str(&format!(
+                "{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\n",
+                key.backend,
+                key.device,
+                l.label(),
+                l.kernel(),
+                l.stride(),
+                l.pad(),
+                l.c_in(),
+                l.c_out(),
+                l.h_in(),
+                l.w_in(),
+                l.groups(),
+                ms.to_bits(),
+                mj.to_bits(),
+            ));
+        }
+        out
+    }
+
+    /// Restores entries from a [`LatencyCache::persist`] snapshot.
+    ///
+    /// Returns the number of entries admitted. Restoring is **not** a
+    /// query: the hit/miss counters and the engine counters are untouched
+    /// (only eviction displacements are recorded), so a resumed search's
+    /// stats cleanly attribute every subsequent lookup. Keys already
+    /// memoized are skipped (costs are deterministic, so the values agree
+    /// by construction). When a per-shard bound is set, restored keys go
+    /// through the same admit-if-smaller policy as live inserts, so the
+    /// final membership stays a pure function of the key set and the cap.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown versions, malformed lines and layer shapes the
+    /// catalog constructors would refuse, with the 1-based line number.
+    pub fn reload(&self, data: &str) -> Result<usize, CacheReloadError> {
+        let err = |line: usize, message: &str| CacheReloadError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = data.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| err(1, "empty persist file"))?;
+        let expected = format!("{PERSIST_HEADER} v{PERSIST_VERSION} ");
+        if !header.starts_with(&expected) {
+            return Err(err(1, "unrecognized persist header/version"));
+        }
+        let mut restored = 0usize;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 13 {
+                return Err(err(lineno, "expected 13 tab-separated fields"));
+            }
+            let backend = u64::from_str_radix(fields[0], 16)
+                .map_err(|_| err(lineno, "bad backend fingerprint"))?;
+            let device = fields[1];
+            let label = fields[2];
+            let mut nums = [0usize; 8];
+            for (slot, raw) in nums.iter_mut().zip(&fields[3..11]) {
+                *slot = raw
+                    .parse::<usize>()
+                    .map_err(|_| err(lineno, "bad layer extent"))?;
+            }
+            let [kernel, stride, pad, c_in, c_out, h_in, w_in, groups] = nums;
+            // Pre-validate what the catalog constructors assert, so a
+            // corrupt file surfaces as an error instead of a panic.
+            let extents_ok = kernel > 0
+                && stride > 0
+                && c_in > 0
+                && c_out > 0
+                && h_in > 0
+                && w_in > 0
+                && h_in + 2 * pad >= kernel
+                && w_in + 2 * pad >= kernel;
+            let groups_ok = groups > 0 && c_in % groups == 0 && c_out % groups == 0;
+            if !extents_ok || !groups_ok {
+                return Err(err(lineno, "layer shape fails catalog invariants"));
+            }
+            let layer = if groups == 1 {
+                ConvLayerSpec::new(label, kernel, stride, pad, c_in, c_out, h_in, w_in)
+            } else {
+                ConvLayerSpec::new_grouped(
+                    label, kernel, stride, pad, c_in, c_out, h_in, w_in, groups,
+                )
+            };
+            let ms = f64::from_bits(
+                u64::from_str_radix(fields[11], 16).map_err(|_| err(lineno, "bad latency bits"))?,
+            );
+            let mj = f64::from_bits(
+                u64::from_str_radix(fields[12], 16).map_err(|_| err(lineno, "bad energy bits"))?,
+            );
+            if self.insert_restored(backend, device, layer, (ms, mj)) {
+                restored += 1;
+            }
+        }
+        Ok(restored)
+    }
+
+    /// Admits one restored entry, mirroring the bounded-insert policy but
+    /// without query/engine accounting. Returns `true` when admitted.
+    fn insert_restored(
+        &self,
+        fingerprint: u64,
+        device: &str,
+        layer: ConvLayerSpec,
+        value: (f64, f64),
+    ) -> bool {
+        let digest = key_digest(fingerprint, device, &layer);
+        let mut table = self
+            .shard(digest)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let already_present = table.get(&digest).is_some_and(|bucket| {
+            bucket
+                .iter()
+                .any(|(k, _)| k.matches(fingerprint, device, &layer))
+        });
+        if already_present {
+            return false;
+        }
+        let key = CacheKey {
+            backend: fingerprint,
+            device: device.to_string(),
+            layer,
+        };
+        let cap = self.max_entries.load(Ordering::Relaxed);
+        let full = cap > 0 && table.values().map(Vec::len).sum::<usize>() >= cap;
+        let mut displaced = false;
+        let admitted = if full {
+            if Self::shard_max_exceeds(&table, digest, &key) {
+                Self::evict_max(&mut table);
+                displaced = true;
+                table.entry(digest).or_default().push((key, value));
+                true
+            } else {
+                false
+            }
+        } else {
+            table.entry(digest).or_default().push((key, value));
+            true
+        };
+        drop(table);
+        if displaced {
+            self.shard_counters(digest)
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
 }
 
 #[cfg(test)]
@@ -1206,6 +1414,142 @@ mod tests {
         cache.cost(&b, &layer, &d);
         assert_eq!(cache.engine_stats().engine_runs, 1);
         assert_eq!(cache.engine_stats().chains_assembled, 0);
+    }
+
+    #[test]
+    fn persist_round_trips_bitwise_and_is_byte_stable() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        for c in [128usize, 92, 76, 33] {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        let snapshot = cache.persist();
+        assert!(snapshot.starts_with("pruneperf-latency-cache v1 entries=4\n"));
+
+        let restored = LatencyCache::new();
+        assert_eq!(restored.reload(&snapshot).unwrap(), 4);
+        assert_eq!(restored.len(), 4);
+        // Restoring is not a query: stats stay clean for the resumed run.
+        assert_eq!(restored.stats().lookups, 0);
+        assert_eq!(restored.engine_stats(), EngineStats::default());
+        // Every restored entry now serves hits with the exact same bits.
+        for c in [128usize, 92, 76, 33] {
+            let layer = l16().with_c_out(c).unwrap();
+            let orig = cache.cost(&b, &layer, &d);
+            let warm = restored.cost(&b, &layer, &d);
+            assert_eq!(warm.0.to_bits(), orig.0.to_bits());
+            assert_eq!(warm.1.to_bits(), orig.1.to_bits());
+        }
+        assert_eq!(restored.stats().hits, 4);
+        assert_eq!(restored.engine_stats().engine_runs, 0);
+        // Byte stability: re-persisting the restored cache is identical.
+        assert_eq!(restored.persist(), snapshot);
+    }
+
+    #[test]
+    fn persist_bytes_are_insertion_order_independent() {
+        let d = Device::jetson_nano();
+        let b = Cudnn::new();
+        let counts = [96usize, 17, 128, 54, 121];
+        let forward = LatencyCache::new();
+        for &c in &counts {
+            forward.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        let backward = LatencyCache::new();
+        for &c in counts.iter().rev() {
+            backward.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        assert_eq!(forward.persist(), backward.persist());
+    }
+
+    #[test]
+    fn reload_skips_present_keys_and_respects_the_shard_bound() {
+        let cache = LatencyCache::new();
+        let d = Device::mali_g72_hikey970();
+        let b = AclGemm::new();
+        for c in [128usize, 92, 76] {
+            cache.cost(&b, &l16().with_c_out(c).unwrap(), &d);
+        }
+        let snapshot = cache.persist();
+        // Reloading into the same cache is a no-op: all keys present.
+        assert_eq!(cache.reload(&snapshot).unwrap(), 0);
+        assert_eq!(cache.len(), 3);
+
+        // A bounded empty cache admits via the same admit-if-smaller
+        // policy as live inserts: every restored key either fits or
+        // displaces a structurally larger one, so membership is capped.
+        let bounded = LatencyCache::new();
+        bounded.set_max_entries_per_shard(1);
+        let admitted = bounded.reload(&snapshot).unwrap();
+        assert!((1..=3).contains(&admitted), "admitted {admitted}");
+        assert!(bounded.len() <= SHARDS);
+        let evictions = bounded.stats().evictions;
+        assert_eq!(admitted as u64, bounded.len() as u64 + evictions);
+        // Whatever survived still serves bitwise-identical hits.
+        let misses_before = bounded.stats().misses;
+        for c in [128usize, 92, 76] {
+            let layer = l16().with_c_out(c).unwrap();
+            assert_eq!(bounded.cost(&b, &layer, &d), cache.cost(&b, &layer, &d));
+        }
+        assert!(bounded.stats().misses >= misses_before);
+    }
+
+    #[test]
+    fn reload_rejects_bad_headers_and_corrupt_lines() {
+        let cache = LatencyCache::new();
+        let err = cache.reload("").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = cache
+            .reload("some-other-format v9 entries=0\n")
+            .unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+
+        let err = cache
+            .reload("pruneperf-latency-cache v2 entries=0\n")
+            .unwrap_err();
+        assert_eq!(err.line, 1, "future versions are rejected, not guessed");
+
+        let header = "pruneperf-latency-cache v1 entries=1\n";
+        for (bad, why) in [
+            (
+                "zz\tdev\tL\t3\t1\t1\t8\t8\t14\t14\t1\t0\t0\n",
+                "fingerprint",
+            ),
+            ("0\tdev\tL\t3\t1\t1\t8\t8\t14\t14\t1\t0\n", "field count"),
+            ("0\tdev\tL\t0\t1\t1\t8\t8\t14\t14\t1\t0\t0\n", "zero kernel"),
+            (
+                "0\tdev\tL\t9\t1\t0\t8\t8\t3\t3\t1\t0\t0\n",
+                "kernel overflow",
+            ),
+            ("0\tdev\tL\t3\t1\t1\t8\t8\t14\t14\t3\t0\t0\n", "bad groups"),
+            (
+                "0\tdev\tL\t3\t1\t1\t8\t8\t14\t14\t1\tg\t0\n",
+                "latency bits",
+            ),
+        ] {
+            let data = format!("{header}{bad}");
+            let err = cache.reload(&data).unwrap_err();
+            assert_eq!(err.line, 2, "{why}: {err}");
+        }
+        assert!(cache.is_empty(), "failed reloads admit nothing new");
+    }
+
+    #[test]
+    fn grouped_layers_survive_the_persist_round_trip() {
+        let cache = LatencyCache::new();
+        let d = Device::jetson_tx2();
+        let b = Cudnn::new();
+        let grouped = ConvLayerSpec::new_grouped("G.L0", 3, 1, 1, 32, 64, 14, 14, 4);
+        let orig = cache.cost(&b, &grouped, &d);
+        let restored = LatencyCache::new();
+        assert_eq!(restored.reload(&cache.persist()).unwrap(), 1);
+        let warm = restored.cost(&b, &grouped, &d);
+        assert_eq!(warm.0.to_bits(), orig.0.to_bits());
+        assert_eq!(warm.1.to_bits(), orig.1.to_bits());
+        assert_eq!(restored.stats().hits, 1);
     }
 
     mod proptests {

@@ -43,7 +43,7 @@ pub mod stats;
 pub mod sweep;
 mod timeline;
 
-pub use cache::{CacheShardStats, CacheStats, LatencyCache};
+pub use cache::{CacheReloadError, CacheShardStats, CacheStats, LatencyCache};
 pub use curve::{CurveError, CurveGap, CurvePoint, LatencyCurve, PartialCurve};
 pub use faults::{FaultKind, FaultPlan, FaultyBackend, RetryOutcome, RetryPolicy};
 pub use incremental::EngineStats;

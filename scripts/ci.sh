@@ -31,8 +31,23 @@ for seed in 1 2 3; do
 done
 cargo run --release -q -- chaos --seed 4 --faults 0.5 > /dev/null
 
+echo "== search (differential suite + determinism + persist/resume) =="
+cargo test -q --release -p pruneperf-core --test search_differential
+cargo run --release -q -- search --network alexnet --json --jobs 1 > /tmp/pruneperf-search-seq.json
+cargo run --release -q -- search --network alexnet --json --jobs 8 > /tmp/pruneperf-search-par.json
+cmp /tmp/pruneperf-search-seq.json /tmp/pruneperf-search-par.json
+rm -f /tmp/pruneperf-search-cache.txt
+cargo run --release -q -- search --network alexnet --json \
+  --persist /tmp/pruneperf-search-cache.txt > /tmp/pruneperf-search-cold.json
+cp /tmp/pruneperf-search-cache.txt /tmp/pruneperf-search-cache-cold.txt
+cargo run --release -q -- search --network alexnet --json \
+  --persist /tmp/pruneperf-search-cache.txt > /tmp/pruneperf-search-resumed.json
+cmp /tmp/pruneperf-search-seq.json /tmp/pruneperf-search-cold.json
+cmp /tmp/pruneperf-search-cold.json /tmp/pruneperf-search-resumed.json
+cmp /tmp/pruneperf-search-cache-cold.txt /tmp/pruneperf-search-cache.txt
+
 echo "== micro-benchmarks (regression gate + determinism) =="
-cargo run --release -q -- bench --no-wall --check BENCH_PR6.json
+cargo run --release -q -- bench --no-wall --check BENCH_PR10.json
 cargo run --release -q -- bench --json --no-wall --jobs 1 > /tmp/pruneperf-bench-seq.json
 cargo run --release -q -- bench --json --no-wall --jobs 8 > /tmp/pruneperf-bench-par.json
 cmp /tmp/pruneperf-bench-seq.json /tmp/pruneperf-bench-par.json

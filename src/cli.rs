@@ -125,9 +125,19 @@ commands:
             deterministic fault-injection drill: transient-fault retries,
             permanent-fault curve gaps, contained worker panics, poisoned
             cache recovery — and a byte-identity check across worker counts
+  search    --network N [--backend B] [--device D] [--algo beam|evolve]
+            [--beam-width N] [--generations N] [--seed S] [--json]
+            [--out PATH] [--cache-cap N] [--persist PATH]
+            whole-network multi-objective pruning search: a deterministic
+            beam or (μ+λ) evolutionary pass over joint per-layer channel
+            vectors, reporting the (latency, energy, accuracy) Pareto
+            front. Every plan is verified (NV001–NV008) before it is
+            reported. --persist reloads/saves the latency cache so a
+            resumed search answers from the table; output is byte-stable
+            across --jobs and resume
   bench     [--json] [--no-wall] [--out PATH] [--check BASELINE]
             fixed micro-benchmark suite; deterministic virtual metrics are
-            regression-diffed against a checked-in baseline (BENCH_PR6.json)
+            regression-diffed against a checked-in baseline (BENCH_PR10.json)
             with --check, wall-clock medians ride along unless --no-wall
   serve     [--addr A] [--workers N] [--queue N] [--cache-cap N]
             [--max-requests N] [--replay PATH] [--service-ms F]
@@ -182,6 +192,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
     if command == "bench" {
         // Boolean flags, like `lint`.
         return cmd_bench(&args[1..]);
+    }
+    if command == "search" {
+        // Boolean flags, like `bench`.
+        return cmd_search(&args[1..]);
     }
     let mut flags = parse_flags(&args[1..])?;
     let jobs = match flags.remove("jobs") {
@@ -676,6 +690,244 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         }
     }
     Ok(rendered)
+}
+
+/// `pruneperf search`: the whole-network multi-objective pruning search.
+///
+/// The JSON rendering deliberately contains only schedule-free,
+/// resume-invariant data (the front, the counters, the configuration) so
+/// CI can compare runs byte-for-byte across `--jobs` counts and across a
+/// persist/reload resume. Cache effectiveness (which *does* differ between
+/// a cold and a resumed run) renders in the human output only.
+fn cmd_search(args: &[String]) -> Result<String, CliError> {
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut persist: Option<String> = None;
+    let mut cache_cap: usize = 0;
+    let mut jobs: Option<usize> = None;
+    let mut network_name = String::new();
+    let mut device_name = "hikey970".to_string();
+    let mut backend_name = "acl-gemm".to_string();
+    let mut config = pruneperf_core::search::SearchConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |key: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| err(format!("flag --{key} needs a value")))
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => out = Some(value("out")?),
+            "--persist" => persist = Some(value("persist")?),
+            "--network" => network_name = value("network")?,
+            "--device" => device_name = value("device")?,
+            "--backend" => backend_name = value("backend")?,
+            "--algo" => {
+                config.algo = match value("algo")?.as_str() {
+                    "beam" => pruneperf_core::search::SearchAlgo::Beam,
+                    "evolve" => pruneperf_core::search::SearchAlgo::Evolve,
+                    other => return Err(err(format!("unknown algo '{other}' (beam | evolve)"))),
+                };
+            }
+            "--beam-width" => {
+                config.beam_width = value("beam-width")?
+                    .parse()
+                    .map_err(|_| err("--beam-width must be a positive integer"))?;
+            }
+            "--generations" => {
+                config.generations = value("generations")?
+                    .parse()
+                    .map_err(|_| err("--generations must be a positive integer"))?;
+            }
+            "--seed" => {
+                config.seed = value("seed")?
+                    .parse()
+                    .map_err(|_| err("--seed must be a non-negative integer"))?;
+            }
+            "--cache-cap" => {
+                cache_cap = value("cache-cap")?
+                    .parse()
+                    .map_err(|_| err("--cache-cap must be a non-negative integer"))?;
+            }
+            "--jobs" => {
+                jobs = Some(
+                    value("jobs")?
+                        .parse()
+                        .map_err(|_| err("--jobs must be a non-negative integer"))?,
+                );
+            }
+            other => {
+                return Err(err(format!(
+                    "unexpected argument '{other}' (search takes --network N, --backend B, \
+                     --device D, --algo beam|evolve, --beam-width N, --generations N, --seed S, \
+                     --json, --out PATH, --cache-cap N, --persist PATH, --jobs N)"
+                )))
+            }
+        }
+    }
+    sweep::set_sweep_jobs(sweep::resolve_jobs(jobs));
+    let device = device_by_name(&device_name)?;
+    let backend = backend_by_name(&backend_name)?;
+    let network = network_by_name(&network_name)?;
+
+    // A local cache (never the process-wide one): its stats and persisted
+    // bytes are then a pure function of this search.
+    let cache = Arc::new(LatencyCache::new());
+    if cache_cap > 0 {
+        cache.set_max_entries_per_shard(cache_cap);
+    }
+    let mut restored = 0usize;
+    if let Some(path) = &persist {
+        match std::fs::read_to_string(path) {
+            Ok(snapshot) => {
+                restored = cache
+                    .reload(&snapshot)
+                    .map_err(|e| err(format!("cannot reload cache from '{path}': {e}")))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(err(format!("cannot read cache file '{path}': {e}"))),
+        }
+    }
+
+    let profiler = LayerProfiler::noiseless(&device).with_cache(Arc::clone(&cache));
+    let accuracy = AccuracyModel::for_network(&network);
+    let outcome =
+        pruneperf_core::search::search(&profiler, &accuracy, backend.as_ref(), &network, &config);
+
+    // Every plan on the front passes the whole-network verifier before it
+    // reaches the user; a finding here is a search bug, not a warning.
+    for plan in &outcome.plans {
+        let diags = pruneperf_analysis::network_verify::audit_pruning_plan(plan, &network);
+        if !diags.is_empty() {
+            let rendered: Vec<String> = diags
+                .iter()
+                .map(|d| format!("{} {} {}", d.rule, d.location, d.message))
+                .collect();
+            return Err(err(format!(
+                "search produced a plan that fails network verification:\n  {}",
+                rendered.join("\n  ")
+            )));
+        }
+    }
+
+    if let Some(path) = &persist {
+        try_write_file(path, &cache.persist(), "latency-cache snapshot")?;
+    }
+
+    let rendered_json = render_search_json(
+        &network_name,
+        &device_name,
+        &backend_name,
+        &config,
+        &network,
+        &outcome,
+    );
+    if let Some(path) = &out {
+        try_write_file(path, &rendered_json, "search report")?;
+    }
+    if json {
+        return Ok(rendered_json);
+    }
+
+    let mut out = format!(
+        "search ({}) over {}: {} of {} joint configurations evaluated in {} rounds\n\
+         front: {} plans ({} dominated, {} duplicates)\n",
+        config.algo.name(),
+        network,
+        outcome.evaluated,
+        outcome.total_configs,
+        outcome.rounds,
+        outcome.archived,
+        outcome.dominated,
+        outcome.duplicates,
+    );
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>9}  kept\n",
+        "plan", "ms", "mJ", "acc"
+    ));
+    for (i, plan) in outcome.plans.iter().enumerate() {
+        let kept: Vec<String> = network
+            .layers()
+            .iter()
+            .map(|l| {
+                let k = plan.kept_for(l.label()).unwrap_or(l.c_out());
+                format!("{k}/{}", l.c_out())
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<10} {:>10.3} {:>10.3} {:>8.2}%  {}\n",
+            format!("#{i}"),
+            plan.latency_ms(),
+            plan.energy_mj(),
+            plan.accuracy() * 100.0,
+            kept.join(" ")
+        ));
+    }
+    let stats = cache.stats();
+    out.push_str(&format!("{stats}\n"));
+    if let Some(path) = &persist {
+        out.push_str(&format!(
+            "cache: {restored} entries reloaded from '{path}', {} persisted back\n",
+            stats.entries
+        ));
+    }
+    Ok(out)
+}
+
+/// Renders the schedule-free search report (stable field order, floats via
+/// shortest-roundtrip `Display` so string equality is bit equality).
+fn render_search_json(
+    network_name: &str,
+    device_name: &str,
+    backend_name: &str,
+    config: &pruneperf_core::search::SearchConfig,
+    network: &Network,
+    outcome: &pruneperf_core::search::SearchOutcome,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"command\": \"search\",\n");
+    out.push_str(&format!("  \"network\": \"{network_name}\",\n"));
+    out.push_str(&format!("  \"device\": \"{device_name}\",\n"));
+    out.push_str(&format!("  \"backend\": \"{backend_name}\",\n"));
+    out.push_str(&format!("  \"algo\": \"{}\",\n", config.algo.name()));
+    out.push_str(&format!("  \"seed\": {},\n", config.seed));
+    out.push_str(&format!("  \"beam_width\": {},\n", config.beam_width));
+    out.push_str(&format!("  \"generations\": {},\n", config.generations));
+    out.push_str(&format!(
+        "  \"total_configs\": {},\n",
+        outcome.total_configs
+    ));
+    out.push_str(&format!("  \"evaluated\": {},\n", outcome.evaluated));
+    out.push_str(&format!("  \"archived\": {},\n", outcome.archived));
+    out.push_str(&format!("  \"dominated\": {},\n", outcome.dominated));
+    out.push_str(&format!("  \"duplicates\": {},\n", outcome.duplicates));
+    out.push_str(&format!("  \"rounds\": {},\n", outcome.rounds));
+    out.push_str("  \"front\": [\n");
+    for (i, plan) in outcome.plans.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"latency_ms\": {}, \"energy_mj\": {}, \"accuracy\": {}, \"kept\": {{",
+            plan.latency_ms(),
+            plan.energy_mj(),
+            plan.accuracy()
+        ));
+        for (j, layer) in network.layers().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let k = plan.kept_for(layer.label()).unwrap_or(layer.c_out());
+            out.push_str(&format!("\"{}\": {k}", layer.label()));
+        }
+        out.push_str("}}");
+        if i + 1 < outcome.plans.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn cmd_report(flags: &HashMap<String, String>) -> Result<String, CliError> {

@@ -166,3 +166,44 @@ fn chrome_trace_schema_matches_golden() {
     std::fs::remove_file(&path).ok();
     check_golden("trace.schema.txt", &schema_of(&json));
 }
+
+#[test]
+fn search_json_schema_matches_golden() {
+    let json = cli(&[
+        "search",
+        "--network",
+        "alexnet",
+        "--algo",
+        "evolve",
+        "--generations",
+        "8",
+        "--beam-width",
+        "6",
+        "--seed",
+        "3",
+        "--json",
+    ]);
+    check_golden("search.schema.txt", &schema_of(&json));
+}
+
+#[test]
+fn search_evolve_seed3_bytes_match_golden() {
+    // Full-byte pin: the search report is a pure function of
+    // (network, device, backend, algo, seed, μ, generations) — no RNG
+    // state, no clocks, no schedule dependence.
+    let json = cli(&[
+        "search",
+        "--network",
+        "alexnet",
+        "--algo",
+        "evolve",
+        "--generations",
+        "8",
+        "--beam-width",
+        "6",
+        "--seed",
+        "3",
+        "--json",
+    ]);
+    check_golden("search-evolve-seed3.json", &json);
+}

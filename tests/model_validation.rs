@@ -46,7 +46,7 @@ fn acl_gemm_instructions_track_macs() {
 fn analytical_macs_match_executed_taps() {
     // All-ones input and weights: each output element equals the number of
     // in-bounds taps; summing over the output gives the exact MAC count.
-    let layer = ConvLayerSpec::new("Val.L0", 3, 1, 1, 8, 12, 14, 14);
+    let layer = pruneperf::core::testkit::val_layer("Val.L0", 1);
     let ones_in = Tensor::from_fn([1, 14, 14, 8], |_| 1.0);
     let ones_w = Tensor::from_fn([12, 3, 3, 8], |_| 1.0);
     let out = im2col_gemm::conv2d(&ones_in, &ones_w, layer.params()).unwrap();
@@ -61,7 +61,7 @@ fn analytical_macs_match_executed_taps() {
         "executed {executed_macs} vs analytical {analytical}"
     );
     // Valid padding: exact equality.
-    let layer_valid = ConvLayerSpec::new("Val.L1", 3, 1, 0, 8, 12, 14, 14);
+    let layer_valid = pruneperf::core::testkit::val_layer("Val.L1", 0);
     let out_valid = im2col_gemm::conv2d(&ones_in, &ones_w, layer_valid.params()).unwrap();
     let executed_valid: f64 = out_valid.as_slice().iter().map(|&v| v as f64).sum();
     assert_eq!(executed_valid as u64, layer_valid.macs());
